@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 3: Algorithm 1 vs benchmark planner runtime
+//! over the battery sweep (scaled-down instances so the suite stays
+//! fast; the full-scale figure comes from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uavdc_core::{Alg1Config, Alg1Planner, BenchmarkPlanner, Planner};
+use uavdc_net::generator::{uniform, ScenarioParams};
+use uavdc_net::units::Joules;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_battery_sweep");
+    group.sample_size(10);
+    for e in [3.0e5, 6.0e5, 9.0e5] {
+        let params = ScenarioParams::default().scaled(0.15).with_capacity(Joules(e));
+        let scenario = uniform(&params, 1);
+        group.bench_with_input(BenchmarkId::new("alg1", e as u64), &scenario, |b, s| {
+            let planner = Alg1Planner::new(Alg1Config::default());
+            b.iter(|| planner.plan(s));
+        });
+        group.bench_with_input(BenchmarkId::new("benchmark", e as u64), &scenario, |b, s| {
+            b.iter(|| BenchmarkPlanner.plan(s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 4: Algorithms 2/3 runtime versus grid edge δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uavdc_core::{Alg2Config, Alg2Planner, Alg3Config, Alg3Planner, Planner};
+use uavdc_net::generator::{uniform, ScenarioParams};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_delta_sweep");
+    group.sample_size(10);
+    let params = ScenarioParams::default().scaled(0.15);
+    let scenario = uniform(&params, 1);
+    for delta in [5.0, 15.0, 30.0] {
+        group.bench_with_input(BenchmarkId::new("alg2", delta as u64), &scenario, |b, s| {
+            let p = Alg2Planner::new(Alg2Config { delta, ..Alg2Config::default() });
+            b.iter(|| p.plan(s));
+        });
+        for k in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("alg3_k{k}"), delta as u64),
+                &scenario,
+                |b, s| {
+                    let p = Alg3Planner::new(Alg3Config { delta, k, ..Alg3Config::default() });
+                    b.iter(|| p.plan(s));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 5: Algorithms 2/3 and benchmark runtime
+//! versus battery capacity at δ = 10 m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uavdc_core::{Alg2Planner, Alg3Planner, BenchmarkPlanner, Planner};
+use uavdc_net::generator::{uniform, ScenarioParams};
+use uavdc_net::units::Joules;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_battery_sweep_overlap");
+    group.sample_size(10);
+    for e in [3.0e5, 6.0e5, 9.0e5] {
+        let params = ScenarioParams::default().scaled(0.15).with_capacity(Joules(e));
+        let scenario = uniform(&params, 1);
+        group.bench_with_input(BenchmarkId::new("alg2", e as u64), &scenario, |b, s| {
+            let p = Alg2Planner::default();
+            b.iter(|| p.plan(s));
+        });
+        group.bench_with_input(BenchmarkId::new("alg3_k4", e as u64), &scenario, |b, s| {
+            let p = Alg3Planner::with_k(4);
+            b.iter(|| p.plan(s));
+        });
+        group.bench_with_input(BenchmarkId::new("benchmark", e as u64), &scenario, |b, s| {
+            b.iter(|| BenchmarkPlanner.plan(s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

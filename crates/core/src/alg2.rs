@@ -1,0 +1,512 @@
+//! Algorithm 2: the data collection maximization problem *with* hovering
+//! coverage overlapping — greedy maximum-ρ insertion.
+//!
+//! The tour starts as `{depot}`. Each iteration evaluates every remaining
+//! candidate hovering location `s` by the paper's ratio (Eq. 13)
+//!
+//! ```text
+//! ρ(s) = P'(s) / (t'(s)·η_h + Δtravel(s)·η_t/speed)
+//! ```
+//!
+//! where `P'(s)` counts only *not-yet-collected* devices (Eq. 11), `t'(s)`
+//! is the hover time those devices need (Eq. 12), and `Δtravel` is the
+//! tour-length increase from adding `s`. The best candidate that keeps the
+//! plan within the battery is added; iteration stops when nothing fits.
+//!
+//! Two tour-maintenance modes ([`TourMode`]):
+//!
+//! * [`TourMode::FastInsertion`] (default) ranks candidates by their
+//!   cheapest-insertion delta — O(|tour|) per candidate — inserts the
+//!   winner, and periodically compacts the tour with 2-opt. This is the
+//!   mode that scales to the paper's 40 000-candidate instances.
+//! * [`TourMode::PaperChristofides`] recomputes a full Christofides tour
+//!   for every candidate evaluation, exactly as Algorithm 2 is written.
+//!   `O(M · n³)` per iteration — use only on small instances (the
+//!   ablation bench quantifies what FastInsertion gives up).
+//!
+//! Candidate evaluation parallelises over crossbeam scoped threads when
+//! the candidate set is large.
+
+use crate::candidates::CandidateSet;
+use crate::plan::{CollectionPlan, HoverStop};
+use crate::tourutil::{cheapest_insertion_point, christofides_order, closed_tour_length};
+use crate::Planner;
+use uavdc_geom::Point2;
+use uavdc_net::units::Seconds;
+use uavdc_net::{DeviceId, Scenario};
+
+/// How the tour is re-planned as stops are added.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TourMode {
+    /// Cheapest-insertion deltas + periodic 2-opt compaction (scalable).
+    #[default]
+    FastInsertion,
+    /// Full Christofides re-tour per candidate evaluation (faithful to
+    /// the paper's pseudocode; cubic — small instances only).
+    PaperChristofides,
+}
+
+/// Configuration of [`Alg2Planner`].
+#[derive(Clone, Copy, Debug)]
+pub struct Alg2Config {
+    /// Grid edge length `δ`, metres.
+    pub delta: f64,
+    /// Tour maintenance strategy.
+    pub tour_mode: TourMode,
+    /// Drop candidates whose coverage is dominated by another candidate
+    /// before planning.
+    pub prune_dominated: bool,
+    /// Parallelise candidate evaluation above this candidate count
+    /// (`usize::MAX` disables threading).
+    pub parallel_threshold: usize,
+}
+
+impl Default for Alg2Config {
+    fn default() -> Self {
+        Alg2Config {
+            delta: 10.0,
+            tour_mode: TourMode::FastInsertion,
+            prune_dominated: true,
+            parallel_threshold: 4096,
+        }
+    }
+}
+
+/// Algorithm 2 planner.
+#[derive(Clone, Debug, Default)]
+pub struct Alg2Planner {
+    /// Planner configuration.
+    pub config: Alg2Config,
+}
+
+impl Alg2Planner {
+    /// Creates a planner with the given configuration.
+    pub fn new(config: Alg2Config) -> Self {
+        Alg2Planner { config }
+    }
+}
+
+/// Evaluation of one candidate in the current state.
+#[derive(Clone, Copy, Debug)]
+struct Evaluation {
+    cand: usize,
+    ratio: f64,
+    sojourn: f64,
+    insert_pos: usize,
+}
+
+struct GreedyState<'a> {
+    scenario: &'a Scenario,
+    candidates: &'a CandidateSet,
+    /// Device already fully collected?
+    collected: Vec<bool>,
+    /// Tour as points; index 0 is the depot. `stop_of[i]` maps tour index
+    /// `i >= 1` to an index into `stops`.
+    tour_pts: Vec<Point2>,
+    stop_of: Vec<usize>,
+    stops: Vec<HoverStop>,
+    /// Candidate still worth considering (covers uncollected data)?
+    active: Vec<bool>,
+    hover_energy_total: f64,
+    tour_len: f64,
+}
+
+impl<'a> GreedyState<'a> {
+    fn new(scenario: &'a Scenario, candidates: &'a CandidateSet) -> Self {
+        GreedyState {
+            scenario,
+            candidates,
+            collected: vec![false; scenario.num_devices()],
+            tour_pts: vec![scenario.depot],
+            stop_of: vec![usize::MAX],
+            stops: Vec::new(),
+            active: vec![true; candidates.len()],
+            hover_energy_total: 0.0,
+            tour_len: 0.0,
+        }
+    }
+
+    /// Marginal volume / hover time of a candidate on the uncollected
+    /// devices (Eqs. 11–12). Returns `(volume_mb, hover_s)`.
+    fn marginal(&self, cand: usize) -> (f64, f64) {
+        let b = self.scenario.radio.bandwidth.value();
+        let mut vol = 0.0f64;
+        let mut t = 0.0f64;
+        for &v in &self.candidates.candidates[cand].covered {
+            if !self.collected[v as usize] {
+                let d = self.scenario.devices[v as usize].data.value();
+                vol += d;
+                t = t.max(d / b);
+            }
+        }
+        (vol, t)
+    }
+
+    /// Evaluates one candidate under FastInsertion; `None` when inactive,
+    /// empty, or infeasible right now.
+    fn evaluate_insertion(&self, cand: usize, capacity: f64, eta_h: f64, per_m: f64) -> Option<Evaluation> {
+        if !self.active[cand] {
+            return None;
+        }
+        let (vol, t) = self.marginal(cand);
+        if vol <= 0.0 {
+            return None;
+        }
+        let (delta_len, pos) = cheapest_insertion_point(
+            &self.tour_pts,
+            self.candidates.candidates[cand].pos,
+        );
+        let extra = t * eta_h + delta_len * per_m;
+        let total = self.hover_energy_total + t * eta_h + (self.tour_len + delta_len) * per_m;
+        if total > capacity {
+            return None;
+        }
+        Some(Evaluation { cand, ratio: vol / extra.max(1e-12), sojourn: t, insert_pos: pos })
+    }
+
+    /// Evaluates one candidate under PaperChristofides: re-tours the full
+    /// stop set with the candidate included.
+    fn evaluate_christofides(&self, cand: usize, capacity: f64, eta_h: f64, per_m: f64) -> Option<Evaluation> {
+        if !self.active[cand] {
+            return None;
+        }
+        let (vol, t) = self.marginal(cand);
+        if vol <= 0.0 {
+            return None;
+        }
+        let mut pts = self.tour_pts.clone();
+        pts.push(self.candidates.candidates[cand].pos);
+        let order = christofides_order(&pts);
+        let new_len = closed_tour_length(&crate::tourutil::apply_order(&pts, &order));
+        let delta_len = (new_len - self.tour_len).max(0.0);
+        let extra = t * eta_h + delta_len * per_m;
+        let total = self.hover_energy_total + t * eta_h + new_len * per_m;
+        if total > capacity {
+            return None;
+        }
+        // Insert position is recomputed at commit time in this mode.
+        Some(Evaluation { cand, ratio: vol / extra.max(1e-12), sojourn: t, insert_pos: usize::MAX })
+    }
+
+    /// Commits the chosen candidate: collects its uncovered devices,
+    /// splices it into the tour, updates energies.
+    fn commit(&mut self, eval: Evaluation, mode: TourMode, eta_h: f64) {
+        let cand = &self.candidates.candidates[eval.cand];
+        let mut collected_here = Vec::new();
+        for &v in &cand.covered {
+            if !self.collected[v as usize] {
+                self.collected[v as usize] = true;
+                collected_here.push((DeviceId(v), self.scenario.devices[v as usize].data));
+            }
+        }
+        debug_assert!(!collected_here.is_empty());
+        let stop = HoverStop {
+            pos: cand.pos,
+            sojourn: Seconds(eval.sojourn),
+            collected: collected_here,
+        };
+        self.stops.push(stop);
+        let stop_idx = self.stops.len() - 1;
+        match mode {
+            TourMode::FastInsertion => {
+                self.tour_pts.insert(eval.insert_pos, cand.pos);
+                self.stop_of.insert(eval.insert_pos, stop_idx);
+            }
+            TourMode::PaperChristofides => {
+                self.tour_pts.push(cand.pos);
+                self.stop_of.push(stop_idx);
+                let order = christofides_order(&self.tour_pts);
+                self.tour_pts = crate::tourutil::apply_order(&self.tour_pts, &order);
+                self.stop_of = crate::tourutil::apply_order(&self.stop_of, &order);
+            }
+        }
+        self.tour_len = closed_tour_length(&self.tour_pts);
+        self.hover_energy_total += eval.sojourn * eta_h;
+        self.active[eval.cand] = false;
+        // Deactivate candidates that no longer cover anything new.
+        for i in 0..self.candidates.len() {
+            if self.active[i] {
+                let covered = &self.candidates.candidates[i].covered;
+                if covered.iter().all(|&v| self.collected[v as usize]) {
+                    self.active[i] = false;
+                }
+            }
+        }
+    }
+
+    /// 2-opt compaction over (point, stop) pairs, reordering both in
+    /// lockstep; compaction only shortens the tour, so feasibility is
+    /// preserved.
+    fn compact(&mut self) {
+        if self.tour_pts.len() < 4 {
+            return;
+        }
+        let paired: Vec<(Point2, usize)> =
+            self.tour_pts.iter().copied().zip(self.stop_of.iter().copied()).collect();
+        let paired = two_opt_paired(paired);
+        self.tour_pts = paired.iter().map(|p| p.0).collect();
+        self.stop_of = paired.iter().map(|p| p.1).collect();
+        self.tour_len = closed_tour_length(&self.tour_pts);
+    }
+
+    fn into_plan(self) -> CollectionPlan {
+        // Emit stops in tour order (skipping the depot sentinel).
+        let mut ordered = Vec::with_capacity(self.stops.len());
+        for (i, &s) in self.stop_of.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            ordered.push(self.stops[s].clone());
+        }
+        CollectionPlan { stops: ordered }
+    }
+}
+
+/// 2-opt where each tour element carries a payload that must move with
+/// its point. Index 0 (depot) stays first.
+fn two_opt_paired(mut paired: Vec<(Point2, usize)>) -> Vec<(Point2, usize)> {
+    let n = paired.len();
+    if n < 4 {
+        return paired;
+    }
+    let mut improved = true;
+    let mut sweeps = 0;
+    while improved && sweeps < 100 {
+        improved = false;
+        sweeps += 1;
+        for i in 0..n - 1 {
+            for j in (i + 2)..n {
+                if i == 0 && j == n - 1 {
+                    continue;
+                }
+                let (a, b) = (paired[i].0, paired[i + 1].0);
+                let (c, d) = (paired[j].0, paired[(j + 1) % n].0);
+                let delta = a.distance(c) + b.distance(d) - a.distance(b) - c.distance(d);
+                if delta < -1e-10 {
+                    paired[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    paired
+}
+
+/// Finds the best evaluation over all candidates, optionally in parallel.
+fn best_evaluation(
+    state: &GreedyState<'_>,
+    mode: TourMode,
+    parallel_threshold: usize,
+) -> Option<Evaluation> {
+    let capacity = state.scenario.uav.capacity.value();
+    let eta_h = state.scenario.uav.hover_power.value();
+    let per_m = state.scenario.uav.travel_energy_per_meter().value();
+    let eval_one = |c: usize| -> Option<Evaluation> {
+        match mode {
+            TourMode::FastInsertion => state.evaluate_insertion(c, capacity, eta_h, per_m),
+            TourMode::PaperChristofides => state.evaluate_christofides(c, capacity, eta_h, per_m),
+        }
+    };
+    let better = |a: &Evaluation, b: &Evaluation| -> bool {
+        // Deterministic tie-break on candidate index.
+        a.ratio > b.ratio + 1e-15 || (a.ratio >= b.ratio - 1e-15 && a.cand < b.cand)
+    };
+    let n = state.candidates.len();
+    if n < parallel_threshold || mode == TourMode::PaperChristofides {
+        let mut best: Option<Evaluation> = None;
+        for c in 0..n {
+            if let Some(e) = eval_one(c) {
+                if best.as_ref().is_none_or(|b| better(&e, b)) {
+                    best = Some(e);
+                }
+            }
+        }
+        return best;
+    }
+    // Parallel: chunk the candidate range over scoped threads.
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<Evaluation>> = vec![None; threads];
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in results.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let state_ref = &state;
+            scope.spawn(move |_| {
+                let mut best: Option<Evaluation> = None;
+                for c in lo..hi {
+                    let e = match mode {
+                        TourMode::FastInsertion => {
+                            state_ref.evaluate_insertion(c, capacity, eta_h, per_m)
+                        }
+                        TourMode::PaperChristofides => {
+                            state_ref.evaluate_christofides(c, capacity, eta_h, per_m)
+                        }
+                    };
+                    if let Some(e) = e {
+                        if best.as_ref().is_none_or(|b| better(&e, b)) {
+                            best = Some(e);
+                        }
+                    }
+                }
+                *slot = best;
+            });
+        }
+    })
+    .expect("candidate evaluation thread panicked");
+    results.into_iter().flatten().fold(None, |acc, e| match acc {
+        None => Some(e),
+        Some(b) => Some(if better(&e, &b) { e } else { b }),
+    })
+}
+
+impl Planner for Alg2Planner {
+    fn name(&self) -> &'static str {
+        match self.config.tour_mode {
+            TourMode::FastInsertion => "Algorithm 2 (greedy ρ, fast)",
+            TourMode::PaperChristofides => "Algorithm 2 (greedy ρ, Christofides)",
+        }
+    }
+
+    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
+        let mut candidates = CandidateSet::build(scenario, self.config.delta);
+        if self.config.prune_dominated {
+            candidates.prune_dominated();
+        }
+        if candidates.is_empty() {
+            return CollectionPlan::empty();
+        }
+        let mut state = GreedyState::new(scenario, &candidates);
+        let mut since_compact = 0;
+        while let Some(eval) =
+            best_evaluation(&state, self.config.tour_mode, self.config.parallel_threshold)
+        {
+            state.commit(eval, self.config.tour_mode, scenario.uav.hover_power.value());
+            since_compact += 1;
+            if self.config.tour_mode == TourMode::FastInsertion && since_compact >= 8 {
+                state.compact();
+                since_compact = 0;
+            }
+        }
+        if self.config.tour_mode == TourMode::FastInsertion {
+            state.compact();
+        }
+        state.into_plan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavdc_geom::Aabb;
+    use uavdc_net::units::{Joules, MegaBytes, MegaBytesPerSecond, Meters};
+    use uavdc_net::{IotDevice, RadioModel, UavSpec};
+
+    fn scenario(capacity: f64) -> Scenario {
+        Scenario {
+            region: Aabb::square(200.0),
+            devices: vec![
+                IotDevice { pos: Point2::new(40.0, 40.0), data: MegaBytes(300.0) },
+                IotDevice { pos: Point2::new(48.0, 40.0), data: MegaBytes(450.0) },
+                IotDevice { pos: Point2::new(60.0, 44.0), data: MegaBytes(150.0) },
+                IotDevice { pos: Point2::new(180.0, 180.0), data: MegaBytes(900.0) },
+            ],
+            depot: Point2::new(0.0, 0.0),
+            radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
+            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+        }
+    }
+
+    #[test]
+    fn plan_validates_and_respects_budget() {
+        let s = scenario(4000.0);
+        let plan = Alg2Planner::default().plan(&s);
+        plan.validate(&s).unwrap();
+        assert!(plan.total_energy(&s).value() <= 4000.0 + 1e-6);
+        assert!(plan.collected_volume().value() > 0.0);
+    }
+
+    #[test]
+    fn overlapping_coverage_collects_each_device_once() {
+        let s = scenario(50_000.0);
+        let plan = Alg2Planner::default().plan(&s);
+        plan.validate(&s).unwrap();
+        // All four devices collected exactly once.
+        assert_eq!(plan.collected_volume(), MegaBytes(1800.0));
+        let mut seen = std::collections::HashSet::new();
+        for stop in &plan.stops {
+            for (dev, _) in &stop.collected {
+                assert!(seen.insert(*dev), "device collected twice");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_collects_nothing() {
+        let s = scenario(0.0);
+        let plan = Alg2Planner::default().plan(&s);
+        assert!(plan.stops.is_empty());
+    }
+
+    #[test]
+    fn paper_christofides_mode_works_on_small_instances() {
+        let s = scenario(8000.0);
+        let cfg = Alg2Config {
+            delta: 20.0,
+            tour_mode: TourMode::PaperChristofides,
+            ..Alg2Config::default()
+        };
+        let plan = Alg2Planner::new(cfg).plan(&s);
+        plan.validate(&s).unwrap();
+        assert!(plan.collected_volume().value() > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let s = scenario(6000.0);
+        let serial = Alg2Planner::new(Alg2Config {
+            parallel_threshold: usize::MAX,
+            ..Alg2Config::default()
+        })
+        .plan(&s);
+        let parallel = Alg2Planner::new(Alg2Config {
+            parallel_threshold: 1,
+            ..Alg2Config::default()
+        })
+        .plan(&s);
+        assert_eq!(serial.collected_volume(), parallel.collected_volume());
+        assert_eq!(serial.stops.len(), parallel.stops.len());
+    }
+
+    #[test]
+    fn finer_grid_does_not_collect_less() {
+        // More candidates can only help the greedy (it has strictly more
+        // choices); allow small tolerance for tie-breaking noise.
+        let s = scenario(5000.0);
+        let coarse = Alg2Planner::new(Alg2Config { delta: 40.0, ..Alg2Config::default() }).plan(&s);
+        let fine = Alg2Planner::new(Alg2Config { delta: 5.0, ..Alg2Config::default() }).plan(&s);
+        assert!(
+            fine.collected_volume().value() >= 0.9 * coarse.collected_volume().value(),
+            "fine {} vs coarse {}",
+            fine.collected_volume(),
+            coarse.collected_volume()
+        );
+    }
+
+    #[test]
+    fn sojourn_covers_only_new_devices() {
+        // Second stop overlapping the first should hover only as long as
+        // its new devices need (Eq. 12).
+        let s = scenario(50_000.0);
+        let plan = Alg2Planner::default().plan(&s);
+        let b = s.radio.bandwidth.value();
+        for stop in &plan.stops {
+            let needed = stop
+                .collected
+                .iter()
+                .map(|&(_, v)| v.value() / b)
+                .fold(0.0, f64::max);
+            assert!((stop.sojourn.value() - needed).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Collection plans and their physical validation.
+
+use uavdc_geom::Point2;
+use uavdc_net::units::{Joules, MegaBytes, Meters, Seconds};
+use uavdc_net::{DeviceId, Scenario};
+
+/// One hovering stop of a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HoverStop {
+    /// Projected hovering position.
+    pub pos: Point2,
+    /// Sojourn duration at this stop.
+    pub sojourn: Seconds,
+    /// What is collected here: device and amount. All listed devices must
+    /// be within coverage radius of `pos`, each amount within what the
+    /// device holds and what the sojourn's bandwidth allows.
+    pub collected: Vec<(DeviceId, MegaBytes)>,
+}
+
+impl HoverStop {
+    /// Total volume collected at this stop.
+    pub fn volume(&self) -> MegaBytes {
+        self.collected.iter().map(|&(_, v)| v).sum()
+    }
+}
+
+/// A closed data-collection tour: depot → stops in order → depot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionPlan {
+    /// Hovering stops in visiting order (depot not included).
+    pub stops: Vec<HoverStop>,
+}
+
+/// Why a plan failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// Total energy demand exceeds the UAV battery.
+    EnergyExceeded {
+        /// Energy the plan needs.
+        required: Joules,
+        /// Battery capacity.
+        capacity: Joules,
+    },
+    /// A stop collects from a device outside its coverage disc.
+    OutOfCoverage {
+        /// Stop index.
+        stop: usize,
+        /// Offending device.
+        device: DeviceId,
+        /// Actual ground distance, metres.
+        distance: f64,
+    },
+    /// A stop collects more from one device than its sojourn's bandwidth
+    /// allows (`amount > B · sojourn`).
+    BandwidthExceeded {
+        /// Stop index.
+        stop: usize,
+        /// Offending device.
+        device: DeviceId,
+    },
+    /// More data collected from a device (across all stops) than it holds.
+    OverCollected {
+        /// Offending device.
+        device: DeviceId,
+        /// Total claimed across stops.
+        claimed: MegaBytes,
+        /// What the device holds.
+        stored: MegaBytes,
+    },
+    /// A negative or non-finite quantity appeared.
+    Malformed(
+        /// Description of the defect.
+        String,
+    ),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EnergyExceeded { required, capacity } => {
+                write!(f, "plan needs {required} but battery holds {capacity}")
+            }
+            PlanError::OutOfCoverage { stop, device, distance } => {
+                write!(f, "stop {stop} collects from device {device:?} at {distance:.1} m, outside coverage")
+            }
+            PlanError::BandwidthExceeded { stop, device } => {
+                write!(f, "stop {stop} collects more from device {device:?} than bandwidth × sojourn")
+            }
+            PlanError::OverCollected { device, claimed, stored } => {
+                write!(f, "device {device:?} yields {claimed} total but stores only {stored}")
+            }
+            PlanError::Malformed(what) => write!(f, "malformed plan: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl CollectionPlan {
+    /// The empty plan: stay at the depot, collect nothing.
+    pub fn empty() -> Self {
+        CollectionPlan { stops: Vec::new() }
+    }
+
+    /// Total collected volume, summed over stops.
+    pub fn collected_volume(&self) -> MegaBytes {
+        self.stops.iter().map(HoverStop::volume).sum()
+    }
+
+    /// Ground length of the closed tour depot → stops → depot.
+    pub fn travel_length(&self, scenario: &Scenario) -> Meters {
+        if self.stops.is_empty() {
+            return Meters::ZERO;
+        }
+        let mut len = 0.0;
+        let mut prev = scenario.depot;
+        for s in &self.stops {
+            len += prev.distance(s.pos);
+            prev = s.pos;
+        }
+        len += prev.distance(scenario.depot);
+        Meters(len)
+    }
+
+    /// Energy spent flying the tour.
+    pub fn travel_energy(&self, scenario: &Scenario) -> Joules {
+        scenario.uav.travel_energy(self.travel_length(scenario))
+    }
+
+    /// Energy spent hovering, over all stops.
+    pub fn hover_energy(&self, scenario: &Scenario) -> Joules {
+        self.stops.iter().map(|s| scenario.uav.hover_energy(s.sojourn)).sum()
+    }
+
+    /// Total energy demand of the plan.
+    pub fn total_energy(&self, scenario: &Scenario) -> Joules {
+        self.travel_energy(scenario) + self.hover_energy(scenario)
+    }
+
+    /// Total mission duration: flight time plus hover time.
+    pub fn duration(&self, scenario: &Scenario) -> Seconds {
+        let flight = self.travel_length(scenario) / scenario.uav.speed;
+        let hover: Seconds = self.stops.iter().map(|s| s.sojourn).sum();
+        flight + hover
+    }
+
+    /// Checks every physical constraint of the plan against the scenario.
+    ///
+    /// Tolerances: energy within `1e-6` relative; per-device totals within
+    /// `1e-6` MB absolute slack.
+    pub fn validate(&self, scenario: &Scenario) -> Result<(), PlanError> {
+        let r0 = scenario.coverage_radius().value();
+        let b = scenario.radio.bandwidth;
+        let mut per_device = vec![MegaBytes::ZERO; scenario.num_devices()];
+        for (i, stop) in self.stops.iter().enumerate() {
+            if !stop.pos.is_finite() {
+                return Err(PlanError::Malformed(format!("stop {i} position not finite")));
+            }
+            if !stop.sojourn.is_finite() || stop.sojourn.value() < 0.0 {
+                return Err(PlanError::Malformed(format!("stop {i} sojourn invalid")));
+            }
+            let allowance = b * stop.sojourn;
+            // A device may appear several times in one stop (e.g. a
+            // sojourn later extended by the partial-collection planner);
+            // the bandwidth constraint applies to its per-stop total.
+            let mut within_stop = std::collections::HashMap::new();
+            for &(dev, amount) in &stop.collected {
+                if dev.index() >= scenario.num_devices() {
+                    return Err(PlanError::Malformed(format!("stop {i} references unknown device")));
+                }
+                if !amount.is_finite() || amount.value() < 0.0 {
+                    return Err(PlanError::Malformed(format!("stop {i} collects invalid amount")));
+                }
+                let d = scenario.devices[dev.index()].pos.distance(stop.pos);
+                if d > r0 + 1e-6 {
+                    return Err(PlanError::OutOfCoverage { stop: i, device: dev, distance: d });
+                }
+                let total = within_stop.entry(dev).or_insert(MegaBytes::ZERO);
+                *total += amount;
+                if total.value() > allowance.value() + 1e-6 {
+                    return Err(PlanError::BandwidthExceeded { stop: i, device: dev });
+                }
+                per_device[dev.index()] += amount;
+            }
+        }
+        for (idx, &claimed) in per_device.iter().enumerate() {
+            let stored = scenario.devices[idx].data;
+            if claimed.value() > stored.value() + 1e-6 {
+                return Err(PlanError::OverCollected { device: DeviceId(idx as u32), claimed, stored });
+            }
+        }
+        let required = self.total_energy(scenario);
+        if required.value() > scenario.uav.capacity.value() * (1.0 + 1e-6) + 1e-6 {
+            return Err(PlanError::EnergyExceeded { required, capacity: scenario.uav.capacity });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavdc_geom::Aabb;
+    use uavdc_net::units::{MegaBytesPerSecond, Meters as M, Watts};
+    use uavdc_net::{IotDevice, RadioModel, UavSpec};
+
+    fn scenario() -> Scenario {
+        Scenario {
+            region: Aabb::square(200.0),
+            devices: vec![
+                IotDevice { pos: Point2::new(50.0, 50.0), data: MegaBytes(300.0) },
+                IotDevice { pos: Point2::new(150.0, 150.0), data: MegaBytes(600.0) },
+            ],
+            depot: Point2::new(0.0, 0.0),
+            radio: RadioModel::new(M(50.0), MegaBytesPerSecond(150.0)),
+            uav: UavSpec {
+                capacity: Joules(50_000.0),
+                speed: uavdc_net::units::MetersPerSecond(10.0),
+                hover_power: Watts(150.0),
+                travel_power: Watts(100.0),
+                altitude: M(0.0),
+                travel_energy_override: None,
+            },
+        }
+    }
+
+    fn good_plan() -> CollectionPlan {
+        CollectionPlan {
+            stops: vec![
+                HoverStop {
+                    pos: Point2::new(50.0, 50.0),
+                    sojourn: Seconds(2.0),
+                    collected: vec![(DeviceId(0), MegaBytes(300.0))],
+                },
+                HoverStop {
+                    pos: Point2::new(150.0, 150.0),
+                    sojourn: Seconds(4.0),
+                    collected: vec![(DeviceId(1), MegaBytes(600.0))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_free_and_valid() {
+        let s = scenario();
+        let p = CollectionPlan::empty();
+        assert_eq!(p.total_energy(&s), Joules::ZERO);
+        assert_eq!(p.collected_volume(), MegaBytes::ZERO);
+        assert_eq!(p.duration(&s), Seconds::ZERO);
+        assert_eq!(p.validate(&s), Ok(()));
+    }
+
+    #[test]
+    fn travel_geometry() {
+        let s = scenario();
+        let p = good_plan();
+        let expect = Point2::new(0.0, 0.0).distance(Point2::new(50.0, 50.0))
+            + Point2::new(50.0, 50.0).distance(Point2::new(150.0, 150.0))
+            + Point2::new(150.0, 150.0).distance(Point2::new(0.0, 0.0));
+        assert!((p.travel_length(&s).value() - expect).abs() < 1e-9);
+        // 10 J per metre.
+        assert!((p.travel_energy(&s).value() - 10.0 * expect).abs() < 1e-6);
+        // Hover: (2 + 4) s * 150 J/s.
+        assert_eq!(p.hover_energy(&s), Joules(900.0));
+    }
+
+    #[test]
+    fn duration_combines_flight_and_hover() {
+        let s = scenario();
+        let p = good_plan();
+        let flight = p.travel_length(&s).value() / 10.0;
+        assert!((p.duration(&s).value() - flight - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert_eq!(good_plan().validate(&scenario()), Ok(()));
+    }
+
+    #[test]
+    fn energy_overrun_detected() {
+        let mut s = scenario();
+        s.uav.capacity = Joules(100.0);
+        match good_plan().validate(&s) {
+            Err(PlanError::EnergyExceeded { .. }) => {}
+            other => panic!("expected EnergyExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_coverage_detected() {
+        let s = scenario();
+        let mut p = good_plan();
+        p.stops[0].collected = vec![(DeviceId(1), MegaBytes(10.0))]; // ~141 m away
+        match p.validate(&s) {
+            Err(PlanError::OutOfCoverage { stop: 0, device: DeviceId(1), .. }) => {}
+            other => panic!("expected OutOfCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_violation_detected() {
+        let s = scenario();
+        let mut p = good_plan();
+        p.stops[0].sojourn = Seconds(1.0); // allowance 150 MB < 300 MB claimed
+        match p.validate(&s) {
+            Err(PlanError::BandwidthExceeded { stop: 0, device: DeviceId(0) }) => {}
+            other => panic!("expected BandwidthExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_collection_detected() {
+        let s = scenario();
+        let mut p = good_plan();
+        // Collect device 0 twice (two stops at the same place).
+        p.stops.push(p.stops[0].clone());
+        match p.validate(&s) {
+            Err(PlanError::OverCollected { device: DeviceId(0), .. }) => {}
+            other => panic!("expected OverCollected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_collection_across_stops_is_fine() {
+        let s = scenario();
+        let p = CollectionPlan {
+            stops: vec![
+                HoverStop {
+                    pos: Point2::new(50.0, 50.0),
+                    sojourn: Seconds(1.0),
+                    collected: vec![(DeviceId(0), MegaBytes(150.0))],
+                },
+                HoverStop {
+                    pos: Point2::new(52.0, 50.0),
+                    sojourn: Seconds(1.0),
+                    collected: vec![(DeviceId(0), MegaBytes(150.0))],
+                },
+            ],
+        };
+        assert_eq!(p.validate(&s), Ok(()));
+        assert_eq!(p.collected_volume(), MegaBytes(300.0));
+    }
+
+    #[test]
+    fn malformed_plans_rejected() {
+        let s = scenario();
+        let mut p = good_plan();
+        p.stops[0].sojourn = Seconds(-1.0);
+        assert!(matches!(p.validate(&s), Err(PlanError::Malformed(_))));
+        let mut p2 = good_plan();
+        p2.stops[0].collected[0].1 = MegaBytes(f64::NAN);
+        assert!(matches!(p2.validate(&s), Err(PlanError::Malformed(_))));
+        let mut p3 = good_plan();
+        p3.stops[0].collected[0].0 = DeviceId(99);
+        assert!(matches!(p3.validate(&s), Err(PlanError::Malformed(_))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PlanError::EnergyExceeded { required: Joules(10.0), capacity: Joules(5.0) };
+        assert!(e.to_string().contains("battery"));
+        let o = PlanError::OverCollected {
+            device: DeviceId(3),
+            claimed: MegaBytes(10.0),
+            stored: MegaBytes(5.0),
+        };
+        assert!(o.to_string().contains("stores only"));
+    }
+}

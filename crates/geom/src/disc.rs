@@ -1,0 +1,168 @@
+//! Discs: the UAV's projected hovering coverage circle.
+
+use crate::{Aabb, Point2};
+
+/// A closed disc of radius `r` centred at `center`, in metres.
+///
+/// When the UAV hovers at `(x, y, H)`, the sensors it can collect from are
+/// those inside the disc of radius `R0 = sqrt(R^2 - H^2)` centred at
+/// `(x, y)` on the ground — this type models that coverage region.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Disc {
+    /// Disc centre (projected hovering location).
+    pub center: Point2,
+    /// Radius in metres (the paper's `R0`).
+    pub r: f64,
+}
+
+impl Disc {
+    /// Creates a disc; `r` must be non-negative and finite.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite radius — those are programming
+    /// errors, not recoverable states.
+    pub fn new(center: Point2, r: f64) -> Self {
+        assert!(r.is_finite() && r >= 0.0, "disc radius must be finite and >= 0, got {r}");
+        Disc { center, r }
+    }
+
+    /// True when `p` lies inside or on the disc boundary.
+    ///
+    /// Matches the paper's coverage predicate
+    /// `sqrt((x_i - x_j)^2 + (y_i - y_j)^2) <= R0` (Eq. 2).
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        self.center.distance_sq(p) <= self.r * self.r
+    }
+
+    /// True when the two discs share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Disc) -> bool {
+        let rr = self.r + other.r;
+        self.center.distance_sq(other.center) <= rr * rr
+    }
+
+    /// Disc area in square metres.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.r * self.r
+    }
+
+    /// Tight axis-aligned bounding box of the disc.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::new(
+            Point2::new(self.center.x - self.r, self.center.y - self.r),
+            Point2::new(self.center.x + self.r, self.center.y + self.r),
+        )
+    }
+}
+
+/// Area of the intersection ("lens") of two discs, in square metres.
+///
+/// Used by the coverage-overlap analysis benches: the expected number of
+/// sensors double-counted by two hovering locations is proportional to this
+/// overlap area under uniform deployment.
+pub fn disc_disc_overlap_area(a: &Disc, b: &Disc) -> f64 {
+    let d = a.center.distance(b.center);
+    if d >= a.r + b.r {
+        return 0.0;
+    }
+    let (r_small, r_big) = if a.r <= b.r { (a.r, b.r) } else { (b.r, a.r) };
+    if d <= r_big - r_small {
+        // Smaller disc entirely inside the bigger one.
+        return std::f64::consts::PI * r_small * r_small;
+    }
+    // Standard circular-lens formula.
+    let d2 = d * d;
+    let r1 = a.r;
+    let r2 = b.r;
+    let alpha = ((d2 + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
+    let beta = ((d2 + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
+    let tri = 0.5
+        * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
+            .max(0.0)
+            .sqrt();
+    r1 * r1 * alpha + r2 * r2 * beta - tri
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn containment_includes_boundary() {
+        let d = Disc::new(Point2::ORIGIN, 50.0);
+        assert!(d.contains(Point2::new(50.0, 0.0)));
+        assert!(d.contains(Point2::new(30.0, 40.0)));
+        assert!(!d.contains(Point2::new(50.0001, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disc radius")]
+    fn negative_radius_panics() {
+        let _ = Disc::new(Point2::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn intersection_by_center_distance() {
+        let a = Disc::new(Point2::ORIGIN, 10.0);
+        let b = Disc::new(Point2::new(19.0, 0.0), 10.0);
+        let c = Disc::new(Point2::new(21.0, 0.0), 10.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Exactly tangent discs count as intersecting (closed discs).
+        let t = Disc::new(Point2::new(20.0, 0.0), 10.0);
+        assert!(a.intersects(&t));
+    }
+
+    #[test]
+    fn area_and_bbox() {
+        let d = Disc::new(Point2::new(5.0, 5.0), 2.0);
+        assert!((d.area() - 4.0 * PI).abs() < 1e-12);
+        let bb = d.bounding_box();
+        assert_eq!(bb.min, Point2::new(3.0, 3.0));
+        assert_eq!(bb.max, Point2::new(7.0, 7.0));
+    }
+
+    #[test]
+    fn overlap_disjoint_is_zero() {
+        let a = Disc::new(Point2::ORIGIN, 5.0);
+        let b = Disc::new(Point2::new(20.0, 0.0), 5.0);
+        assert_eq!(disc_disc_overlap_area(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn overlap_contained_is_smaller_area() {
+        let big = Disc::new(Point2::ORIGIN, 10.0);
+        let small = Disc::new(Point2::new(1.0, 0.0), 2.0);
+        let lens = disc_disc_overlap_area(&big, &small);
+        assert!((lens - small.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_identical_is_full_area() {
+        let a = Disc::new(Point2::new(3.0, 3.0), 7.0);
+        assert!((disc_disc_overlap_area(&a, &a) - a.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_half_shifted_known_value() {
+        // Two unit discs at distance 1: lens area = 2*acos(1/2) - sqrt(3)/2.
+        let a = Disc::new(Point2::ORIGIN, 1.0);
+        let b = Disc::new(Point2::new(1.0, 0.0), 1.0);
+        let expected = 2.0 * (0.5f64).acos() - (3.0f64).sqrt() / 2.0;
+        assert!((disc_disc_overlap_area(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded() {
+        let a = Disc::new(Point2::ORIGIN, 4.0);
+        let b = Disc::new(Point2::new(3.0, 1.0), 6.0);
+        let ab = disc_disc_overlap_area(&a, &b);
+        let ba = disc_disc_overlap_area(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab <= a.area().min(b.area()) + 1e-12);
+        assert!(ab > 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::Point2;
+
+/// Indices of the convex hull of `points`, counter-clockwise, starting
+/// from the lexicographically smallest point. Collinear boundary points
+/// are excluded (strict hull). Returns all input indices (in order) when
+/// fewer than three points are given.
+///
+/// The hull order is a useful TSP seed: in an optimal Euclidean tour the
+/// hull vertices appear in exactly this cyclic order, so constructions
+/// seeded with the hull (see `uavdc-graph`'s `cheapest_insertion_from`)
+/// never get the boundary wrong.
+pub fn convex_hull(points: &[Point2]) -> Vec<usize> {
+    let n = points.len();
+    if n < 3 {
+        return (0..n).collect();
+    }
+    for (i, p) in points.iter().enumerate() {
+        assert!(p.is_finite(), "point {i} is not finite: {p:?}");
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .x
+            .partial_cmp(&points[b].x)
+            .unwrap()
+            .then(points[a].y.partial_cmp(&points[b].y).unwrap())
+    });
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        let (po, pa, pb) = (points[o], points[a], points[b]);
+        (pa.x - po.x) * (pb.y - po.y) - (pa.y - po.y) * (pb.x - po.x)
+    };
+    // Lower hull.
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    for &i in &order {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 1e-12 {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &i in order.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 1e-12
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Signed area (shoelace) of the polygon visiting `points[order]` in
+/// sequence; positive for counter-clockwise order.
+pub fn polygon_area(points: &[Point2], order: &[usize]) -> f64 {
+    if order.len() < 3 {
+        return 0.0;
+    }
+    let mut twice = 0.0;
+    for k in 0..order.len() {
+        let a = points[order[k]];
+        let b = points[order[(k + 1) % order.len()]];
+        twice += a.x * b.y - b.x * a.y;
+    }
+    twice / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]), vec![0]);
+        assert_eq!(convex_hull(&[p(0.0, 0.0), p(1.0, 0.0)]), vec![0, 1]);
+    }
+
+    #[test]
+    fn square_with_interior_point() {
+        let pts = [p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(5.0, 5.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&4), "interior point on hull");
+        // Counter-clockwise: positive area.
+        assert!(polygon_area(&pts, &hull) > 0.0);
+        assert!((polygon_area(&pts, &hull) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points_excluded() {
+        let pts = [p(0.0, 0.0), p(5.0, 0.0), p(10.0, 0.0), p(5.0, 5.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+        assert!(!hull.contains(&1), "collinear midpoint kept");
+    }
+
+    #[test]
+    fn starts_at_lexicographic_minimum() {
+        let pts = [p(5.0, 5.0), p(0.0, 0.0), p(10.0, 0.0), p(5.0, 9.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull[0], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hull_contains_all_points(
+            raw in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..60),
+        ) {
+            let pts: Vec<Point2> = raw.iter().map(|&(x, y)| p(x, y)).collect();
+            let hull = convex_hull(&pts);
+            prop_assume!(hull.len() >= 3);
+            // Every point lies inside or on the hull: cross products with
+            // every CCW edge are >= 0 (within tolerance).
+            for (qi, q) in pts.iter().enumerate() {
+                for k in 0..hull.len() {
+                    let a = pts[hull[k]];
+                    let b = pts[hull[(k + 1) % hull.len()]];
+                    let cr = (b.x - a.x) * (q.y - a.y) - (b.y - a.y) * (q.x - a.x);
+                    prop_assert!(cr >= -1e-6, "point {qi} outside hull edge {k}: {cr}");
+                }
+            }
+            // Hull vertices are distinct.
+            let mut sorted = hull.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), hull.len());
+        }
+
+        #[test]
+        fn prop_hull_area_is_maximal_polygon(
+            raw in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..25),
+        ) {
+            let pts: Vec<Point2> = raw.iter().map(|&(x, y)| p(x, y)).collect();
+            let hull = convex_hull(&pts);
+            prop_assume!(hull.len() >= 3);
+            let hull_area = polygon_area(&pts, &hull);
+            prop_assert!(hull_area >= -1e-9, "hull not CCW");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! A 2-D kd-tree over a fixed point set.
+//!
+//! Complements [`crate::SpatialGrid`]: the bucket grid wins on uniform
+//! densities and pure radius queries (the planners' hot path), while the
+//! kd-tree is robust to highly skewed densities (clustered deployments)
+//! and adds k-nearest-neighbour queries. The `substrates` bench compares
+//! the two.
+//!
+//! The tree is built once over median splits (O(n log n)) and stored as a
+//! flat array — no per-node allocation, no unsafe.
+
+use crate::Point2;
+
+/// Flat-array 2-D kd-tree.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    /// Points in tree order (an in-place nested median layout).
+    pts: Vec<Point2>,
+    /// Original index of each tree-ordered point.
+    idx: Vec<u32>,
+}
+
+impl KdTree {
+    /// Builds a tree over `points`.
+    ///
+    /// # Panics
+    /// Panics when any coordinate is non-finite.
+    pub fn build(points: &[Point2]) -> Self {
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} is not finite: {p:?}");
+        }
+        let mut pts = points.to_vec();
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        if !pts.is_empty() {
+            build_rec(&mut pts, &mut idx, 0);
+        }
+        KdTree { pts, idx }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// True when the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Original index of the nearest point to `q`, or `None` when empty.
+    pub fn nearest(&self, q: Point2) -> Option<usize> {
+        if self.pts.is_empty() {
+            return None;
+        }
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nearest_rec(0, self.pts.len(), 0, q, &mut best);
+        Some(self.idx[best.0] as usize)
+    }
+
+    /// Original indices of the `k` nearest points to `q`, closest first.
+    /// Returns fewer when the tree holds fewer than `k` points.
+    pub fn k_nearest(&self, q: Point2, k: usize) -> Vec<usize> {
+        if self.pts.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Max-heap of (dist_sq, tree position) capped at k.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.k_nearest_rec(0, self.pts.len(), 0, q, k, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap.into_iter().map(|(_, pos)| self.idx[pos] as usize).collect()
+    }
+
+    /// Original indices of every point within (closed) `radius` of `q`.
+    pub fn query_radius(&self, q: Point2, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.pts.is_empty() || !radius.is_finite() || radius < 0.0 {
+            return out;
+        }
+        self.radius_rec(0, self.pts.len(), 0, q, radius * radius, &mut out);
+        out
+    }
+
+    fn nearest_rec(&self, lo: usize, hi: usize, axis: usize, q: Point2, best: &mut (usize, f64)) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        let d2 = p.distance_sq(q);
+        if d2 < best.1 {
+            *best = (mid, d2);
+        }
+        let diff = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if diff < 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        self.nearest_rec(near.0, near.1, axis ^ 1, q, best);
+        if diff * diff < best.1 {
+            self.nearest_rec(far.0, far.1, axis ^ 1, q, best);
+        }
+    }
+
+    fn k_nearest_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        q: Point2,
+        k: usize,
+        heap: &mut Vec<(f64, usize)>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        let d2 = p.distance_sq(q);
+        if heap.len() < k {
+            heap.push((d2, mid));
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // worst first
+        } else if d2 < heap[0].0 {
+            heap[0] = (d2, mid);
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        }
+        let diff = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if diff < 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        self.k_nearest_rec(near.0, near.1, axis ^ 1, q, k, heap);
+        let worst = if heap.len() < k { f64::INFINITY } else { heap[0].0 };
+        if diff * diff < worst {
+            self.k_nearest_rec(far.0, far.1, axis ^ 1, q, k, heap);
+        }
+    }
+
+    fn radius_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        q: Point2,
+        r2: f64,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        if p.distance_sq(q) <= r2 {
+            out.push(self.idx[mid] as usize);
+        }
+        let diff = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if diff < 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        self.radius_rec(near.0, near.1, axis ^ 1, q, r2, out);
+        if diff * diff <= r2 {
+            self.radius_rec(far.0, far.1, axis ^ 1, q, r2, out);
+        }
+    }
+}
+
+/// Recursive median layout: `pts[lo + (hi-lo)/2]` becomes the splitting
+/// node of `[lo, hi)` on `axis`.
+///
+/// The median is found by sorting the (point, index) pairs of the
+/// subrange on the axis coordinate — `O(n log² n)` total build, simple
+/// and branch-predictable at the point counts this crate handles
+/// (thousands).
+fn build_rec(pts: &mut [Point2], idx: &mut [u32], axis: usize) {
+    let n = pts.len();
+    if n <= 1 {
+        return;
+    }
+    let mut paired: Vec<(Point2, u32)> =
+        pts.iter().copied().zip(idx.iter().copied()).collect();
+    paired.sort_by(|a, b| {
+        let ka = if axis == 0 { a.0.x } else { a.0.y };
+        let kb = if axis == 0 { b.0.x } else { b.0.y };
+        ka.partial_cmp(&kb).expect("coordinates are finite").then(a.1.cmp(&b.1))
+    });
+    for (k, (p, i)) in paired.into_iter().enumerate() {
+        pts[k] = p;
+        idx[k] = i;
+    }
+    let mid = n / 2;
+    let (left_p, rest_p) = pts.split_at_mut(mid);
+    let (left_i, rest_i) = idx.split_at_mut(mid);
+    build_rec(left_p, left_i, axis ^ 1);
+    build_rec(&mut rest_p[1..], &mut rest_i[1..], axis ^ 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_radius(points: &[Point2], q: Point2, r: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(q) <= r * r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.nearest(Point2::ORIGIN), None);
+        assert!(t.k_nearest(Point2::ORIGIN, 3).is_empty());
+        assert!(t.query_radius(Point2::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(&[Point2::new(3.0, 4.0)]);
+        assert_eq!(t.nearest(Point2::ORIGIN), Some(0));
+        assert_eq!(t.k_nearest(Point2::ORIGIN, 5), vec![0]);
+        assert_eq!(t.query_radius(Point2::ORIGIN, 5.0), vec![0]);
+        assert!(t.query_radius(Point2::ORIGIN, 4.99).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let pts = vec![Point2::new(1.0, 1.0); 5];
+        let t = KdTree::build(&pts);
+        let mut found = t.query_radius(Point2::new(1.0, 1.0), 0.0);
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn k_nearest_ordering() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(7.0, 0.0),
+        ];
+        let t = KdTree::build(&pts);
+        assert_eq!(t.k_nearest(Point2::new(0.5, 0.0), 3), vec![0, 2, 3]);
+        assert_eq!(t.k_nearest(Point2::new(9.0, 0.0), 2), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn non_finite_point_rejected() {
+        let _ = KdTree::build(&[Point2::new(f64::INFINITY, 0.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_radius_matches_brute_force(
+            pts in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 0..150),
+            qx in -100.0f64..1100.0,
+            qy in -100.0f64..1100.0,
+            r in 0.0f64..300.0,
+        ) {
+            let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let t = KdTree::build(&points);
+            let mut got = t.query_radius(Point2::new(qx, qy), r);
+            let mut want = brute_radius(&points, Point2::new(qx, qy), r);
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_nearest_matches_brute_force(
+            pts in proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0), 1..100),
+            qx in -50.0f64..550.0,
+            qy in -50.0f64..550.0,
+        ) {
+            let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let t = KdTree::build(&points);
+            let q = Point2::new(qx, qy);
+            let got = t.nearest(q).unwrap();
+            let best = points.iter().map(|p| p.distance_sq(q)).fold(f64::INFINITY, f64::min);
+            prop_assert!((points[got].distance_sq(q) - best).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_k_nearest_matches_brute_force(
+            pts in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..60),
+            qx in 0.0f64..200.0,
+            qy in 0.0f64..200.0,
+            k in 1usize..10,
+        ) {
+            let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let t = KdTree::build(&points);
+            let q = Point2::new(qx, qy);
+            let got = t.k_nearest(q, k);
+            prop_assert_eq!(got.len(), k.min(points.len()));
+            // Distances must be sorted and match the k smallest by brute force.
+            let got_d: Vec<f64> = got.iter().map(|&i| points[i].distance_sq(q)).collect();
+            for w in got_d.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-12);
+            }
+            let mut all: Vec<f64> = points.iter().map(|p| p.distance_sq(q)).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (a, b) in got_d.iter().zip(all.iter()) {
+                prop_assert!((a - b).abs() < 1e-9, "kNN distance mismatch");
+            }
+        }
+
+        #[test]
+        fn prop_agrees_with_spatial_grid(
+            pts in proptest::collection::vec((0.0f64..800.0, 0.0f64..800.0), 1..120),
+            qx in 0.0f64..800.0,
+            qy in 0.0f64..800.0,
+            r in 0.0f64..200.0,
+        ) {
+            let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let tree = KdTree::build(&points);
+            let grid = crate::SpatialGrid::build(&points, 50.0);
+            let q = Point2::new(qx, qy);
+            let mut a = tree.query_radius(q, r);
+            let mut b = grid.query_radius(q, r);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "kd-tree and bucket grid disagree");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Lower bounds for metric TSP: the Held–Karp 1-tree bound.
+//!
+//! A *1-tree* rooted at vertex `r` is a spanning tree over the other
+//! vertices plus the two cheapest edges incident to `r`. Every tour is a
+//! 1-tree, so the minimum 1-tree weight lower-bounds the optimal tour.
+//! Maximising over roots tightens the bound. Used in tests to certify
+//! heuristic tour quality on instances too large for Held–Karp DP, and
+//! available to callers for the same purpose.
+
+use crate::mst::prim_mst;
+use crate::DistMatrix;
+
+/// The 1-tree lower bound rooted at `root`.
+///
+/// Returns `0.0` for fewer than three vertices (a "tour" over ≤ 2
+/// vertices is degenerate but its length is still ≥ 0).
+pub fn one_tree_bound_at(m: &DistMatrix, root: usize) -> f64 {
+    let n = m.len();
+    assert!(root < n.max(1), "root {root} out of range {n}");
+    if n < 3 {
+        // The exact optimal length for n == 2 is twice the single edge.
+        return if n == 2 { 2.0 * m.get(0, 1) } else { 0.0 };
+    }
+    // Spanning tree over everything except the root.
+    let others: Vec<usize> = (0..n).filter(|&v| v != root).collect();
+    let sub = m.submatrix(&others);
+    let tree = prim_mst(&sub);
+    // Two cheapest edges out of the root.
+    let mut best = f64::INFINITY;
+    let mut second = f64::INFINITY;
+    for &v in &others {
+        let w = m.get(root, v);
+        if w < best {
+            second = best;
+            best = w;
+        } else if w < second {
+            second = w;
+        }
+    }
+    tree.weight + best + second
+}
+
+/// The strongest 1-tree bound over all roots — a valid lower bound on the
+/// optimal tour length of any symmetric instance. `O(n · n²)`.
+pub fn one_tree_bound(m: &DistMatrix) -> f64 {
+    let n = m.len();
+    if n < 3 {
+        return one_tree_bound_at(m, 0.min(n.saturating_sub(1)));
+    }
+    (0..n).map(|r| one_tree_bound_at(m, r)).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::christofides::christofides;
+    use crate::exact::{brute_force_length, held_karp};
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(one_tree_bound(&DistMatrix::zeros(0)), 0.0);
+        assert_eq!(one_tree_bound(&DistMatrix::zeros(1)), 0.0);
+        let two = DistMatrix::from_euclidean(&[(0.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(one_tree_bound(&two), 6.0);
+    }
+
+    #[test]
+    fn unit_square_bound_is_tight() {
+        let m = DistMatrix::from_euclidean(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        // Optimal tour = 4; the 1-tree bound reaches it on a square.
+        let b = one_tree_bound(&m);
+        assert!(b <= 4.0 + 1e-12);
+        assert!(b >= 4.0 - 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_bound_below_optimum(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..8),
+        ) {
+            let m = DistMatrix::from_euclidean(&pts);
+            let opt = brute_force_length(&m);
+            let bound = one_tree_bound(&m);
+            prop_assert!(bound <= opt + 1e-9, "bound {bound} exceeds optimum {opt}");
+            // On Euclidean instances the bound is reasonably tight.
+            prop_assert!(bound >= 0.5 * opt - 1e-9, "bound {bound} uselessly loose vs {opt}");
+        }
+
+        #[test]
+        fn prop_certifies_christofides_on_larger_instances(
+            pts in proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0), 10..35),
+        ) {
+            // Where Held-Karp is infeasible, the bound still certifies the
+            // tour: christofides <= 1.5 * opt <= 1.5 * tour and
+            // tour >= bound, so tour / bound <= 1.5 / (bound/opt); on
+            // Euclidean instances empirically tour <= 1.6 * bound.
+            let m = DistMatrix::from_euclidean(&pts);
+            let tour = christofides(&m).length(&m);
+            let bound = one_tree_bound(&m);
+            prop_assert!(tour >= bound - 1e-6, "tour {tour} below lower bound {bound}");
+            prop_assert!(tour <= 1.6 * bound + 1e-6,
+                "tour {tour} suspiciously far above bound {bound}");
+        }
+
+        #[test]
+        fn prop_bound_matches_held_karp_relationship(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 4..10),
+        ) {
+            let m = DistMatrix::from_euclidean(&pts);
+            let opt = held_karp(&m).unwrap().length(&m);
+            prop_assert!(one_tree_bound(&m) <= opt + 1e-9);
+        }
+    }
+}

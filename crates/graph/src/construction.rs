@@ -1,0 +1,291 @@
+//! Tour construction heuristics: nearest neighbour and cheapest insertion.
+//!
+//! Cheapest insertion additionally exposes the O(|tour|) *insertion delta*
+//! — the marginal tour-length cost of adding one vertex — which the fast
+//! mode of the paper's Algorithm 2 uses to rank candidate hovering
+//! locations without recomputing a full Christofides tour per candidate.
+
+use crate::{DistMatrix, Tour};
+
+/// Nearest-neighbour tour over all vertices, starting from `start`.
+///
+/// # Panics
+/// Panics when `start` is out of range (unless the matrix is empty).
+pub fn nearest_neighbor(m: &DistMatrix, start: usize) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::new(Vec::new());
+    }
+    assert!(start < n, "start {start} out of range {n}");
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = start;
+    visited[cur] = true;
+    order.push(cur);
+    for _ in 1..n {
+        let row = m.row(cur);
+        let mut best = usize::MAX;
+        let mut bd = f64::INFINITY;
+        for v in 0..n {
+            if !visited[v] && row[v] < bd {
+                bd = row[v];
+                best = v;
+            }
+        }
+        visited[best] = true;
+        order.push(best);
+        cur = best;
+    }
+    Tour::new(order)
+}
+
+/// Marginal cost of inserting `v` into the closed tour `order` at the best
+/// position, and that position.
+///
+/// Returns `(delta, pos)` where inserting before `order[pos]` increases
+/// the tour length by `delta`; `pos == order.len()` appends at the end
+/// (insertion on the closing edge), so `order[0]` is never displaced —
+/// planners rely on the depot staying first. For an empty tour the delta
+/// is `0.0`; for a singleton tour `{u}` it is the out-and-back cost
+/// `2·w(u, v)`.
+pub fn cheapest_insertion_delta(m: &DistMatrix, order: &[usize], v: usize) -> (f64, usize) {
+    match order.len() {
+        0 => (0.0, 0),
+        1 => (2.0 * m.get(order[0], v), 1),
+        n => {
+            let mut best = f64::INFINITY;
+            let mut pos = 0;
+            for i in 0..n {
+                let a = order[i];
+                let b = order[(i + 1) % n];
+                let delta = m.get(a, v) + m.get(v, b) - m.get(a, b);
+                if delta < best {
+                    best = delta;
+                    pos = i + 1;
+                }
+            }
+            (best, pos)
+        }
+    }
+}
+
+/// Inserts `v` into `tour` at the cheapest position and returns the length
+/// increase.
+pub fn insert_cheapest(tour: &mut Tour, m: &DistMatrix, v: usize) -> f64 {
+    let (delta, pos) = cheapest_insertion_delta(m, tour.order(), v);
+    tour.order_mut().insert(pos, v);
+    delta
+}
+
+/// Cheapest-insertion tour grown from an arbitrary *seed tour* (e.g. the
+/// convex hull of the vertex positions, computed with
+/// `uavdc_geom::convex_hull`). In an optimal Euclidean tour the hull
+/// vertices appear in hull order, so hull seeding fixes the boundary
+/// before interior vertices are inserted — the classic "convex hull
+/// insertion" heuristic.
+///
+/// # Panics
+/// Panics when the seed contains duplicates or out-of-range vertices
+/// (checked by [`Tour::new`]), or is empty while the matrix is not.
+pub fn cheapest_insertion_from(m: &DistMatrix, seed: &[usize]) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::new(Vec::new());
+    }
+    assert!(!seed.is_empty(), "seed tour must contain at least one vertex");
+    let mut tour = Tour::new(seed.to_vec());
+    let mut in_tour = vec![false; n];
+    for &v in seed {
+        in_tour[v] = true;
+    }
+    let mut remaining: Vec<usize> = (0..n).filter(|&v| !in_tour[v]).collect();
+    while !remaining.is_empty() {
+        let mut best_i = 0;
+        let mut best_delta = f64::INFINITY;
+        for (i, &v) in remaining.iter().enumerate() {
+            let (d, _) = cheapest_insertion_delta(m, tour.order(), v);
+            if d < best_delta {
+                best_delta = d;
+                best_i = i;
+            }
+        }
+        let v = remaining.swap_remove(best_i);
+        insert_cheapest(&mut tour, m, v);
+    }
+    tour
+}
+
+/// Cheapest-insertion tour over all vertices, seeded from `start`.
+pub fn cheapest_insertion(m: &DistMatrix, start: usize) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::new(Vec::new());
+    }
+    assert!(start < n, "start {start} out of range {n}");
+    let mut tour = Tour::new(vec![start]);
+    let mut remaining: Vec<usize> = (0..n).filter(|&v| v != start).collect();
+    while !remaining.is_empty() {
+        // Pick the remaining vertex with the cheapest insertion delta.
+        let mut best_i = 0;
+        let mut best_delta = f64::INFINITY;
+        for (i, &v) in remaining.iter().enumerate() {
+            let (d, _) = cheapest_insertion_delta(m, tour.order(), v);
+            if d < best_delta {
+                best_delta = d;
+                best_i = i;
+            }
+        }
+        let v = remaining.swap_remove(best_i);
+        insert_cheapest(&mut tour, m, v);
+    }
+    tour
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square() -> DistMatrix {
+        DistMatrix::from_euclidean(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn nn_on_empty_and_single() {
+        assert!(nearest_neighbor(&DistMatrix::zeros(0), 0).is_empty());
+        assert_eq!(nearest_neighbor(&DistMatrix::zeros(1), 0).order(), &[0]);
+    }
+
+    #[test]
+    fn nn_visits_all_from_any_start() {
+        let m = square();
+        for start in 0..4 {
+            let t = nearest_neighbor(&m, start);
+            assert_eq!(t.len(), 4);
+            assert_eq!(t.order()[0], start);
+        }
+    }
+
+    #[test]
+    fn nn_square_is_optimal() {
+        let m = square();
+        assert!((nearest_neighbor(&m, 0).length(&m) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_delta_empty_and_singleton() {
+        let m = square();
+        assert_eq!(cheapest_insertion_delta(&m, &[], 2), (0.0, 0));
+        let (d, pos) = cheapest_insertion_delta(&m, &[0], 2);
+        assert!((d - 2.0 * 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(pos, 1);
+    }
+
+    #[test]
+    fn insertion_delta_matches_recomputed_length() {
+        let m = DistMatrix::from_euclidean(&[
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 3.0),
+            (0.0, 3.0),
+            (2.0, 1.0),
+        ]);
+        let mut tour = Tour::new(vec![0, 1, 2, 3]);
+        let before = tour.length(&m);
+        let delta = insert_cheapest(&mut tour, &m, 4);
+        let after = tour.length(&m);
+        assert!((after - before - delta).abs() < 1e-12);
+        assert_eq!(tour.len(), 5);
+    }
+
+    #[test]
+    fn cheapest_insertion_square_optimal() {
+        let m = square();
+        let t = cheapest_insertion(&m, 0);
+        assert!((t.length(&m) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheapest_insertion_visits_all() {
+        let pts: Vec<(f64, f64)> =
+            (0..15).map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64)).collect();
+        let m = DistMatrix::from_euclidean(&pts);
+        let t = cheapest_insertion(&m, 3);
+        let mut order = t.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_insertion_visits_all_and_respects_seed_order() {
+        let pts: Vec<(f64, f64)> = vec![
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+            (5.0, 5.0),
+            (3.0, 7.0),
+        ];
+        let m = DistMatrix::from_euclidean(&pts);
+        let t = cheapest_insertion_from(&m, &[0, 1, 2, 3]);
+        let mut order = t.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
+        // Seed vertices keep their cyclic order (insertions never reorder).
+        let pos: Vec<usize> =
+            [0, 1, 2, 3].iter().map(|s| t.order().iter().position(|v| v == s).unwrap()).collect();
+        let rotations = pos.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(rotations <= 1, "seed order broken: {pos:?}");
+    }
+
+    #[test]
+    fn hull_seed_never_worse_than_much_on_ring_instance() {
+        // Points on a circle: the hull IS the optimal tour, so seeding
+        // with it yields the optimum while plain cheapest insertion may
+        // or may not.
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * (i as f64) / 12.0;
+                (50.0 + 40.0 * a.cos(), 50.0 + 40.0 * a.sin())
+            })
+            .collect();
+        let m = DistMatrix::from_euclidean(&pts);
+        let hull_order: Vec<usize> = (0..12).collect(); // circle order is hull order
+        let t = cheapest_insertion_from(&m, &hull_order);
+        let optimal = crate::exact::held_karp(&m).unwrap().length(&m);
+        assert!((t.length(&m) - optimal).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed tour")]
+    fn empty_seed_rejected() {
+        let m = DistMatrix::zeros(3);
+        let _ = cheapest_insertion_from(&m, &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_insert_cheapest_delta_is_exact(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..20),
+        ) {
+            let m = DistMatrix::from_euclidean(&pts);
+            let n = pts.len();
+            let mut tour = Tour::new((0..n - 1).collect());
+            let before = tour.length(&m);
+            let delta = insert_cheapest(&mut tour, &m, n - 1);
+            prop_assert!((tour.length(&m) - before - delta).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_insertion_delta_nonnegative_for_metric(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..15),
+        ) {
+            // For metric instances the cheapest insertion delta is >= 0.
+            let m = DistMatrix::from_euclidean(&pts);
+            let n = pts.len();
+            let order: Vec<usize> = (0..n - 1).collect();
+            let (d, _) = cheapest_insertion_delta(&m, &order, n - 1);
+            prop_assert!(d >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Radio/link model between ground sensors and the hovering UAV.
+
+use crate::units::{MegaBytesPerSecond, Meters};
+
+/// Uplink model shared by all aggregate sensor nodes.
+///
+/// Per the paper (§III.B): every node has transmission range `R` and
+/// uploads at fixed bandwidth `B` when the UAV is within range. When the
+/// UAV hovers at altitude `H ≤ R`, the set of nodes it can serve
+/// simultaneously (via OFDMA) is the disc of radius
+/// `R0 = sqrt(R² − H²)` around the projection of its hovering location.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioModel {
+    /// Sensor transmission range `R` (3-D, slant), metres.
+    pub range: Meters,
+    /// Per-node uplink bandwidth `B`.
+    pub bandwidth: MegaBytesPerSecond,
+}
+
+impl RadioModel {
+    /// Creates a model from range and bandwidth.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite parameters.
+    pub fn new(range: Meters, bandwidth: MegaBytesPerSecond) -> Self {
+        assert!(range.is_finite() && range.value() > 0.0, "range must be positive");
+        assert!(bandwidth.is_finite() && bandwidth.value() > 0.0, "bandwidth must be positive");
+        RadioModel { range, bandwidth }
+    }
+
+    /// Builds the model backwards from a desired *ground* coverage radius
+    /// `R0` at a given flight altitude: `R = sqrt(R0² + H²)`.
+    ///
+    /// The paper's evaluation fixes `R0 = 50 m` directly; this constructor
+    /// lets scenarios do the same for any altitude.
+    pub fn with_ground_radius(
+        r0: Meters,
+        altitude: Meters,
+        bandwidth: MegaBytesPerSecond,
+    ) -> Self {
+        assert!(r0.is_finite() && r0.value() > 0.0, "ground radius must be positive");
+        assert!(altitude.is_finite() && altitude.value() >= 0.0, "altitude must be >= 0");
+        let r = (r0.value() * r0.value() + altitude.value() * altitude.value()).sqrt();
+        RadioModel::new(Meters(r), bandwidth)
+    }
+
+    /// Ground coverage radius `R0 = sqrt(R² − H²)` at altitude `h`.
+    ///
+    /// Returns `None` when the altitude exceeds the transmission range
+    /// (the UAV would be out of reach even directly overhead).
+    pub fn coverage_radius(&self, h: Meters) -> Option<Meters> {
+        if h.value() < 0.0 || h > self.range {
+            return None;
+        }
+        Some(Meters((self.range.value().powi(2) - h.value().powi(2)).sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_radius_pythagoras() {
+        let r = RadioModel::new(Meters(50.0), MegaBytesPerSecond(150.0));
+        let r0 = r.coverage_radius(Meters(30.0)).unwrap();
+        assert!((r0.value() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_at_ground_level_is_full_range() {
+        let r = RadioModel::new(Meters(50.0), MegaBytesPerSecond(150.0));
+        assert_eq!(r.coverage_radius(Meters(0.0)).unwrap(), Meters(50.0));
+    }
+
+    #[test]
+    fn coverage_at_max_altitude_is_zero() {
+        let r = RadioModel::new(Meters(50.0), MegaBytesPerSecond(150.0));
+        assert_eq!(r.coverage_radius(Meters(50.0)).unwrap(), Meters(0.0));
+    }
+
+    #[test]
+    fn too_high_is_none() {
+        let r = RadioModel::new(Meters(50.0), MegaBytesPerSecond(150.0));
+        assert_eq!(r.coverage_radius(Meters(50.1)), None);
+        assert_eq!(r.coverage_radius(Meters(-1.0)), None);
+    }
+
+    #[test]
+    fn ground_radius_constructor_roundtrips() {
+        let m = RadioModel::with_ground_radius(Meters(50.0), Meters(30.0), MegaBytesPerSecond(150.0));
+        let r0 = m.coverage_radius(Meters(30.0)).unwrap();
+        assert!((r0.value() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_panics() {
+        let _ = RadioModel::new(Meters(0.0), MegaBytesPerSecond(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = RadioModel::new(Meters(1.0), MegaBytesPerSecond(0.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Complete data-collection scenarios: region, devices, depot, UAV.
+
+use crate::radio::RadioModel;
+use crate::units::{Joules, JoulesPerMeter, MegaBytes, Meters, MetersPerSecond, Watts};
+use uavdc_geom::{Aabb, Point2};
+
+/// Identifier of an aggregate sensor node within a [`Scenario`]
+/// (its index in [`Scenario::devices`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// The index this id wraps.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An aggregate sensor node: ground position plus the volume of stored
+/// data awaiting collection (its own sensing data and the data forwarded
+/// by neighbouring non-aggregate IoT devices).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IotDevice {
+    /// Ground position, metres.
+    pub pos: Point2,
+    /// Stored data volume `D_v`.
+    pub data: MegaBytes,
+}
+
+/// The UAV's physical parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UavSpec {
+    /// Battery capacity `E`.
+    pub capacity: Joules,
+    /// Constant flying speed.
+    pub speed: MetersPerSecond,
+    /// Hovering power `η_h`.
+    pub hover_power: Watts,
+    /// Travel power `η_t` (at the constant flying speed).
+    pub travel_power: Watts,
+    /// Flight altitude `H`.
+    pub altitude: Meters,
+    /// Explicit travel energy density. `None` derives the physical value
+    /// `travel_power / speed`. The paper's evaluation charges its edge
+    /// weights `ℓ · η_t` with `ℓ` in *metres* (Eq. 9 taken literally,
+    /// i.e. 100 J per metre), which is what makes its instances
+    /// energy-constrained; [`UavSpec::paper_eval`] sets this override so
+    /// the reported figure magnitudes reproduce.
+    pub travel_energy_override: Option<JoulesPerMeter>,
+}
+
+impl UavSpec {
+    /// The DJI-Phantom-flavoured parameters the paper states:
+    /// `E = 3·10⁵ J`, 10 m/s, `η_h = 150 J/s`, `η_t = 100 J/s`, `H = 0`
+    /// treated as negligible against `R0 = 50 m` (the paper specifies `R0`
+    /// directly). Travel energy is the physically derived
+    /// `η_t / speed = 10 J/m`.
+    pub fn paper_default() -> Self {
+        UavSpec {
+            capacity: Joules(3.0e5),
+            speed: MetersPerSecond(10.0),
+            hover_power: Watts(150.0),
+            travel_power: Watts(100.0),
+            altitude: Meters(0.0),
+            travel_energy_override: None,
+        }
+    }
+
+    /// The parameters that reproduce the paper's *evaluation numbers*:
+    /// as [`UavSpec::paper_default`] but charging `η_t = 100 J` per
+    /// **metre** of travel, matching the literal `ℓ(s_j, s_k)·η_t` of
+    /// Eq. 9 with distances in metres. Under the physically derived
+    /// 10 J/m the paper's default instances are not energy-constrained at
+    /// all (every algorithm collects everything), while this accounting
+    /// reproduces the reported magnitudes (e.g. benchmark ≈ 74 GB at
+    /// `E = 3·10⁵ J`); see EXPERIMENTS.md.
+    pub fn paper_eval() -> Self {
+        UavSpec {
+            travel_energy_override: Some(JoulesPerMeter(100.0)),
+            ..UavSpec::paper_default()
+        }
+    }
+
+    /// Travel energy per metre: the override if set, else `η_t / speed`.
+    #[inline]
+    pub fn travel_energy_per_meter(&self) -> JoulesPerMeter {
+        self.travel_energy_override.unwrap_or(self.travel_power / self.speed)
+    }
+
+    /// Energy consumed flying a given distance.
+    #[inline]
+    pub fn travel_energy(&self, d: Meters) -> Joules {
+        self.travel_energy_per_meter() * d
+    }
+
+    /// Energy consumed hovering for a given duration.
+    #[inline]
+    pub fn hover_energy(&self, t: crate::units::Seconds) -> Joules {
+        self.hover_power * t
+    }
+
+    /// Validates physical sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            (self.capacity.is_finite() && self.capacity.value() >= 0.0, "capacity"),
+            (self.speed.is_finite() && self.speed.value() > 0.0, "speed"),
+            (self.hover_power.is_finite() && self.hover_power.value() > 0.0, "hover_power"),
+            (self.travel_power.is_finite() && self.travel_power.value() > 0.0, "travel_power"),
+            (self.altitude.is_finite() && self.altitude.value() >= 0.0, "altitude"),
+            (
+                self.travel_energy_override
+                    .is_none_or(|d| d.is_finite() && d.value() > 0.0),
+                "travel_energy_override",
+            ),
+        ];
+        for (ok, what) in checks {
+            if !ok {
+                return Err(format!("invalid UAV spec field: {what}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete, validated data-collection instance.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Monitoring region (hovering locations are generated inside it).
+    pub region: Aabb,
+    /// Aggregate sensor nodes with their stored volumes.
+    pub devices: Vec<IotDevice>,
+    /// UAV depot `d` (start and end of every tour).
+    pub depot: Point2,
+    /// Uplink model.
+    pub radio: RadioModel,
+    /// UAV parameters.
+    pub uav: UavSpec,
+}
+
+impl Scenario {
+    /// Validates the whole instance; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.uav.validate()?;
+        if !self.depot.is_finite() {
+            return Err("depot position not finite".into());
+        }
+        if self.radio.coverage_radius(self.uav.altitude).is_none() {
+            return Err(format!(
+                "flight altitude {} exceeds sensor transmission range {}",
+                self.uav.altitude, self.radio.range
+            ));
+        }
+        for (i, d) in self.devices.iter().enumerate() {
+            if !d.pos.is_finite() {
+                return Err(format!("device {i} position not finite"));
+            }
+            if !d.data.is_finite() || d.data.value() < 0.0 {
+                return Err(format!("device {i} data volume invalid: {}", d.data));
+            }
+            if !self.region.contains(d.pos) {
+                return Err(format!("device {i} at {} outside region", d.pos));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ground coverage radius `R0` of the UAV at its flight altitude.
+    ///
+    /// # Panics
+    /// Panics when the altitude exceeds the transmission range; call
+    /// [`Scenario::validate`] first to surface that as an error.
+    pub fn coverage_radius(&self) -> Meters {
+        self.radio
+            .coverage_radius(self.uav.altitude)
+            .expect("altitude exceeds transmission range; scenario is invalid")
+    }
+
+    /// Number of aggregate devices.
+    #[inline]
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Sum of all stored data — an upper bound on any plan's collected
+    /// volume.
+    pub fn total_data(&self) -> MegaBytes {
+        self.devices.iter().map(|d| d.data).sum()
+    }
+
+    /// Device positions as a plain slice of points (for spatial indexing).
+    pub fn device_positions(&self) -> Vec<Point2> {
+        self.devices.iter().map(|d| d.pos).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MegaBytesPerSecond;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            region: Aabb::square(100.0),
+            devices: vec![
+                IotDevice { pos: Point2::new(10.0, 10.0), data: MegaBytes(100.0) },
+                IotDevice { pos: Point2::new(90.0, 90.0), data: MegaBytes(400.0) },
+            ],
+            depot: Point2::new(0.0, 0.0),
+            radio: RadioModel::new(Meters(50.0), MegaBytesPerSecond(150.0)),
+            uav: UavSpec::paper_default(),
+        }
+    }
+
+    #[test]
+    fn valid_scenario_passes() {
+        assert_eq!(tiny_scenario().validate(), Ok(()));
+    }
+
+    #[test]
+    fn paper_defaults_match_section_vii() {
+        let u = UavSpec::paper_default();
+        assert_eq!(u.capacity, Joules(3.0e5));
+        assert_eq!(u.speed, MetersPerSecond(10.0));
+        assert_eq!(u.hover_power, Watts(150.0));
+        assert_eq!(u.travel_power, Watts(100.0));
+        // 100 J/s at 10 m/s = 10 J per metre of travel.
+        assert_eq!(u.travel_energy_per_meter(), JoulesPerMeter(10.0));
+        assert_eq!(u.travel_energy(Meters(30_000.0)), Joules(3.0e5));
+    }
+
+    #[test]
+    fn hover_energy_is_power_times_time() {
+        let u = UavSpec::paper_default();
+        assert_eq!(u.hover_energy(crate::units::Seconds(6.0)), Joules(900.0));
+    }
+
+    #[test]
+    fn device_outside_region_rejected() {
+        let mut s = tiny_scenario();
+        s.devices.push(IotDevice { pos: Point2::new(200.0, 0.0), data: MegaBytes(1.0) });
+        assert!(s.validate().unwrap_err().contains("outside region"));
+    }
+
+    #[test]
+    fn negative_data_rejected() {
+        let mut s = tiny_scenario();
+        s.devices[0].data = MegaBytes(-1.0);
+        assert!(s.validate().unwrap_err().contains("data volume"));
+    }
+
+    #[test]
+    fn altitude_above_range_rejected() {
+        let mut s = tiny_scenario();
+        s.uav.altitude = Meters(60.0); // range is 50
+        assert!(s.validate().unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn totals_and_positions() {
+        let s = tiny_scenario();
+        assert_eq!(s.total_data(), MegaBytes(500.0));
+        assert_eq!(s.num_devices(), 2);
+        assert_eq!(s.device_positions()[1], Point2::new(90.0, 90.0));
+    }
+
+    #[test]
+    fn coverage_radius_uses_altitude() {
+        let mut s = tiny_scenario();
+        s.uav.altitude = Meters(30.0);
+        assert!((s.coverage_radius().value() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_uav_field_reported() {
+        let mut s = tiny_scenario();
+        s.uav.speed = MetersPerSecond(0.0);
+        assert!(s.validate().unwrap_err().contains("speed"));
+    }
+}

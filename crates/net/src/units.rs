@@ -1,0 +1,340 @@
+//! Dimension-carrying newtypes for the quantities the planners juggle.
+//!
+//! The paper's formulas mix energies (J), powers (J/s), durations (s),
+//! distances (m), speeds (m/s), data volumes (MB) and bandwidths (MB/s).
+//! These wrappers make unit errors type errors at API boundaries while
+//! staying zero-cost: each is a transparent `f64`.
+//!
+//! Only physically meaningful operations are implemented, e.g.
+//! `Watts * Seconds = Joules`, `MegaBytes / MegaBytesPerSecond = Seconds`,
+//! `Meters / MetersPerSecond = Seconds`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Raw numeric value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True when the value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamps negative values to zero.
+            #[inline]
+            pub fn clamp_non_negative(self) -> $name {
+                $name(self.0.max(0.0))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, s: f64) -> $name {
+                $name(self.0 * s)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, u: $name) -> $name {
+                $name(self * u.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, s: f64) -> $name {
+                $name(self.0 / s)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|u| u.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Distance in metres.
+    Meters,
+    "m"
+);
+unit!(
+    /// Data volume in megabytes.
+    MegaBytes,
+    "MB"
+);
+unit!(
+    /// Power in joules per second (the paper's `η_h`, `η_t`).
+    Watts,
+    "J/s"
+);
+unit!(
+    /// Speed in metres per second.
+    MetersPerSecond,
+    "m/s"
+);
+unit!(
+    /// Uplink bandwidth in megabytes per second (the paper's `B`).
+    MegaBytesPerSecond,
+    "MB/s"
+);
+unit!(
+    /// Energy per distance in joules per metre (travel energy density).
+    JoulesPerMeter,
+    "J/m"
+);
+
+// --- Cross-unit physics ---------------------------------------------------
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, t: Seconds) -> Joules {
+        Joules(self.0 * t.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, p: Watts) -> Joules {
+        p * self
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, p: Watts) -> Seconds {
+        Seconds(self.0 / p.0)
+    }
+}
+
+impl Div<MegaBytesPerSecond> for MegaBytes {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, b: MegaBytesPerSecond) -> Seconds {
+        Seconds(self.0 / b.0)
+    }
+}
+
+impl Mul<Seconds> for MegaBytesPerSecond {
+    type Output = MegaBytes;
+    #[inline]
+    fn mul(self, t: Seconds) -> MegaBytes {
+        MegaBytes(self.0 * t.0)
+    }
+}
+
+impl Div<MetersPerSecond> for Meters {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, v: MetersPerSecond) -> Seconds {
+        Seconds(self.0 / v.0)
+    }
+}
+
+impl Mul<Seconds> for MetersPerSecond {
+    type Output = Meters;
+    #[inline]
+    fn mul(self, t: Seconds) -> Meters {
+        Meters(self.0 * t.0)
+    }
+}
+
+impl Div<MetersPerSecond> for Watts {
+    /// Travel power over speed is energy per metre.
+    type Output = JoulesPerMeter;
+    #[inline]
+    fn div(self, v: MetersPerSecond) -> JoulesPerMeter {
+        JoulesPerMeter(self.0 / v.0)
+    }
+}
+
+impl Mul<Meters> for JoulesPerMeter {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, d: Meters) -> Joules {
+        Joules(self.0 * d.0)
+    }
+}
+
+impl Mul<JoulesPerMeter> for Meters {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, e: JoulesPerMeter) -> Joules {
+        e * self
+    }
+}
+
+/// Gigabyte pretty-printer for report tables (the paper reports GB).
+pub fn megabytes_as_gb(v: MegaBytes) -> f64 {
+    v.0 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_within_one_unit() {
+        let a = Joules(10.0);
+        let b = Joules(4.0);
+        assert_eq!((a + b).value(), 14.0);
+        assert_eq!((a - b).value(), 6.0);
+        assert_eq!((a * 2.0).value(), 20.0);
+        assert_eq!((2.0 * a).value(), 20.0);
+        assert_eq!((a / 2.0).value(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-b).value(), -4.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let hover = Watts(150.0) * Seconds(6.0);
+        assert_eq!(hover, Joules(900.0));
+        assert_eq!(Seconds(6.0) * Watts(150.0), Joules(900.0));
+        assert_eq!(Joules(900.0) / Watts(150.0), Seconds(6.0));
+    }
+
+    #[test]
+    fn data_over_bandwidth_is_time() {
+        // Paper: t(s) = D_v / B with B = 150 MB/s.
+        let t = MegaBytes(1000.0) / MegaBytesPerSecond(150.0);
+        assert!((t.value() - 6.666_666_666_666_667).abs() < 1e-12);
+        assert_eq!(MegaBytesPerSecond(150.0) * Seconds(2.0), MegaBytes(300.0));
+    }
+
+    #[test]
+    fn travel_energy_density() {
+        // η_t = 100 J/s at 10 m/s → 10 J per metre.
+        let per_m = Watts(100.0) / MetersPerSecond(10.0);
+        assert_eq!(per_m, JoulesPerMeter(10.0));
+        assert_eq!(per_m * Meters(30_000.0), Joules(300_000.0));
+        assert_eq!(Meters(5.0) * per_m, Joules(50.0));
+    }
+
+    #[test]
+    fn distance_over_speed_is_time() {
+        assert_eq!(Meters(100.0) / MetersPerSecond(10.0), Seconds(10.0));
+        assert_eq!(MetersPerSecond(10.0) * Seconds(3.0), Meters(30.0));
+    }
+
+    #[test]
+    fn sums_and_clamps() {
+        let total: Joules = [Joules(1.0), Joules(2.5)].into_iter().sum();
+        assert_eq!(total, Joules(3.5));
+        assert_eq!((Joules(1.0) - Joules(5.0)).clamp_non_negative(), Joules::ZERO);
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(format!("{}", Joules(1.5)), "1.500 J");
+        assert_eq!(format!("{:?}", MegaBytes(2.0)), "2 MB");
+        assert_eq!(megabytes_as_gb(MegaBytes(147_700.0)), 147.7);
+    }
+}

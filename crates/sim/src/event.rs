@@ -1,0 +1,139 @@
+//! Simulation event log.
+
+use uavdc_geom::Point2;
+use uavdc_net::units::{Joules, MegaBytes, Seconds};
+use uavdc_net::DeviceId;
+
+/// One timestamped event of a simulated mission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimEvent {
+    /// The UAV left a position heading for another.
+    Departed {
+        /// Mission time at departure.
+        t: Seconds,
+        /// Where from.
+        from: Point2,
+        /// Where to.
+        to: Point2,
+    },
+    /// The UAV arrived at a hovering position.
+    Arrived {
+        /// Mission time at arrival.
+        t: Seconds,
+        /// The position reached.
+        pos: Point2,
+    },
+    /// A device finished (or truncated) its upload during a hover.
+    Uploaded {
+        /// Mission time when the transfer ended.
+        t: Seconds,
+        /// Uploading device.
+        device: DeviceId,
+        /// Volume transferred during this hover.
+        amount: MegaBytes,
+    },
+    /// A hover ended and the UAV is ready to move on.
+    HoverEnded {
+        /// Mission time.
+        t: Seconds,
+        /// Hover position.
+        pos: Point2,
+        /// Energy used so far.
+        energy_used: Joules,
+    },
+    /// The battery ran dry before the mission finished.
+    BatteryDepleted {
+        /// Mission time of depletion.
+        t: Seconds,
+        /// Where the UAV was (interpolated along the current leg).
+        pos: Point2,
+    },
+    /// Mission completed: the UAV is back at the depot.
+    ReturnedToDepot {
+        /// Total mission time.
+        t: Seconds,
+        /// Total energy used.
+        energy_used: Joules,
+    },
+}
+
+impl SimEvent {
+    /// Timestamp of the event.
+    pub fn time(&self) -> Seconds {
+        match self {
+            SimEvent::Departed { t, .. }
+            | SimEvent::Arrived { t, .. }
+            | SimEvent::Uploaded { t, .. }
+            | SimEvent::HoverEnded { t, .. }
+            | SimEvent::BatteryDepleted { t, .. }
+            | SimEvent::ReturnedToDepot { t, .. } => *t,
+        }
+    }
+}
+
+/// Chronological event log of one mission.
+#[derive(Clone, Debug, Default)]
+pub struct SimTrace {
+    /// Events in non-decreasing time order.
+    pub events: Vec<SimEvent>,
+}
+
+impl SimTrace {
+    /// Appends an event, checking monotonicity in debug builds.
+    pub fn push(&mut self, e: SimEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.time() <= e.time() + Seconds(1e-9)),
+            "event log must be chronological"
+        );
+        self.events.push(e);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All upload events, in order.
+    pub fn uploads(&self) -> impl Iterator<Item = (&Seconds, &DeviceId, &MegaBytes)> {
+        self.events.iter().filter_map(|e| match e {
+            SimEvent::Uploaded { t, device, amount } => Some((t, device, amount)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_chronological() {
+        let mut tr = SimTrace::default();
+        tr.push(SimEvent::Departed { t: Seconds(0.0), from: Point2::ORIGIN, to: Point2::ORIGIN });
+        tr.push(SimEvent::Arrived { t: Seconds(5.0), pos: Point2::ORIGIN });
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.events[1].time(), Seconds(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_event_panics_in_debug() {
+        let mut tr = SimTrace::default();
+        tr.push(SimEvent::Arrived { t: Seconds(5.0), pos: Point2::ORIGIN });
+        tr.push(SimEvent::Arrived { t: Seconds(1.0), pos: Point2::ORIGIN });
+    }
+
+    #[test]
+    fn uploads_filter() {
+        let mut tr = SimTrace::default();
+        tr.push(SimEvent::Uploaded { t: Seconds(1.0), device: DeviceId(3), amount: MegaBytes(5.0) });
+        tr.push(SimEvent::HoverEnded { t: Seconds(2.0), pos: Point2::ORIGIN, energy_used: Joules(1.0) });
+        assert_eq!(tr.uploads().count(), 1);
+    }
+}

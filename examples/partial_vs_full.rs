@@ -1,0 +1,58 @@
+//! Where partial collection pays off: the hover-dominated regime.
+//!
+//! The paper's Algorithm 3 lets the UAV hover a fraction `k/K` of the
+//! full sojourn at a stop, draining big devices across several
+//! overlapping stops. That only matters when *hovering* is a significant
+//! share of the energy budget. This example sweeps the uplink bandwidth
+//! `B`: at the paper's 150 MB/s hover energy is small and Algorithms 2
+//! and 3 collect almost the same; as `B` drops (slower radios → longer
+//! hovers) the partial-collection planner pulls ahead.
+//!
+//! ```text
+//! cargo run --release --example partial_vs_full
+//! ```
+
+use uavdc::prelude::*;
+
+fn main() {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "B (MB/s)", "Alg2 (GB)", "Alg3 K=4", "gain (%)", "hover (%)"
+    );
+    for bandwidth in [150.0, 40.0, 20.0, 10.0, 5.0] {
+        let params = ScenarioParams {
+            bandwidth: MegaBytesPerSecond(bandwidth),
+            ..ScenarioParams::default().scaled(0.3)
+        };
+        let mut full_gb = 0.0;
+        let mut partial_gb = 0.0;
+        let mut hover_share = 0.0;
+        let instances = 5;
+        for seed in 0..instances {
+            let scenario = uniform(&params, seed);
+            let full = Alg2Planner::default().plan(&scenario);
+            let partial = Alg3Planner::with_k(4).plan(&scenario);
+            full.validate(&scenario).unwrap();
+            partial.validate(&scenario).unwrap();
+            full_gb += megabytes_as_gb(full.collected_volume());
+            partial_gb += megabytes_as_gb(partial.collected_volume());
+            hover_share += partial.hover_energy(&scenario).value()
+                / partial.total_energy(&scenario).value().max(1e-9);
+        }
+        let n = instances as f64;
+        println!(
+            "{:>10.0} {:>12.2} {:>12.2} {:>12.1} {:>10.1}",
+            bandwidth,
+            full_gb / n,
+            partial_gb / n,
+            100.0 * (partial_gb - full_gb) / full_gb.max(1e-9),
+            100.0 * hover_share / n,
+        );
+    }
+    println!(
+        "\nReading: as bandwidth falls, hovering dominates the battery and\n\
+         Algorithm 3's fractional sojourns (K=4) collect measurably more\n\
+         than Algorithm 2's full-collection stops — the mechanism behind\n\
+         the paper's Fig. 4(a) gap between the two algorithms."
+    );
+}

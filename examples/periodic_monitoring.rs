@@ -1,0 +1,52 @@
+//! Periodic monitoring: the paper's premise ("stored data … will be
+//! collected periodically by a UAV") run to steady state. Devices keep
+//! generating data; the UAV flies one tour per period. How big a battery
+//! keeps the backlog bounded, and what gets lost when buffers are finite?
+//!
+//! ```text
+//! cargo run --release --example periodic_monitoring
+//! ```
+
+use uavdc::prelude::*;
+use uavdc::sim::{run_periodic, PeriodicConfig};
+
+fn main() {
+    let params = ScenarioParams::default().scaled(0.15); // 75 devices
+    let scenario = uniform(&params, 21);
+    let rates = vec![MegaBytesPerSecond(0.3); scenario.num_devices()];
+    println!(
+        "{} devices generating {:.1} MB/s total; one tour every 30 min; buffers 1.5 GB each\n",
+        scenario.num_devices(),
+        rates.iter().map(|r| r.value()).sum::<f64>(),
+    );
+    println!(
+        "{:>14} {:>14} {:>14} {:>14} {:>12}",
+        "battery (J)", "collected GB", "dropped GB", "backlog GB", "stable?"
+    );
+    for capacity in [0.5e5, 1.0e5, 2.0e5, 3.0e5] {
+        let mut s = scenario.clone();
+        s.uav.capacity = Joules(capacity);
+        let cfg = PeriodicConfig {
+            rounds: 12,
+            period: Seconds(1800.0),
+            generation_rates: rates.clone(),
+            buffer_capacity: Some(MegaBytes(1500.0)),
+            sim: SimConfig { record_uploads: false, ..SimConfig::default() },
+        };
+        let out = run_periodic(&s, &Alg2Planner::default(), &cfg);
+        assert!(out.conserves_data());
+        println!(
+            "{:>14.0} {:>14.2} {:>14.2} {:>14.2} {:>12}",
+            capacity,
+            megabytes_as_gb(out.total_collected),
+            megabytes_as_gb(out.total_dropped),
+            megabytes_as_gb(out.final_backlog),
+            out.backlog_bounded_by(MegaBytes(0.6 * 1500.0 * s.num_devices() as f64)),
+        );
+    }
+    println!(
+        "\nReading: below a battery threshold the UAV cannot keep up —\n\
+         buffers saturate and data is dropped every round; above it the\n\
+         backlog stabilises near zero and nothing is lost."
+    );
+}

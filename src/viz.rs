@@ -1,0 +1,223 @@
+//! SVG rendering of scenarios and plans.
+//!
+//! Pure-string SVG generation (no dependencies): devices as dots sized by
+//! stored volume, the depot as a square, the tour as a polyline, hovering
+//! stops with their coverage discs. Useful for eyeballing planner output:
+//!
+//! ```
+//! use uavdc::prelude::*;
+//! use uavdc::viz::render_plan_svg;
+//!
+//! let scenario = uniform(&ScenarioParams::default().scaled(0.05), 1);
+//! let plan = Alg2Planner::default().plan(&scenario);
+//! let svg = render_plan_svg(&scenario, &plan);
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+use uavdc_core::CollectionPlan;
+use uavdc_net::Scenario;
+
+/// Canvas size of the rendered SVG in pixels (square).
+const CANVAS: f64 = 800.0;
+/// Margin around the region, pixels.
+const MARGIN: f64 = 30.0;
+
+struct Mapper {
+    min_x: f64,
+    min_y: f64,
+    scale: f64,
+}
+
+impl Mapper {
+    fn new(scenario: &Scenario) -> Self {
+        let r = &scenario.region;
+        let span = r.width().max(r.height()).max(1e-9);
+        Mapper { min_x: r.min.x, min_y: r.min.y, scale: (CANVAS - 2.0 * MARGIN) / span }
+    }
+
+    fn x(&self, wx: f64) -> f64 {
+        MARGIN + (wx - self.min_x) * self.scale
+    }
+
+    /// SVG y grows downward; world y grows upward.
+    fn y(&self, wy: f64) -> f64 {
+        CANVAS - MARGIN - (wy - self.min_y) * self.scale
+    }
+
+    fn d(&self, meters: f64) -> f64 {
+        meters * self.scale
+    }
+}
+
+/// Renders the scenario alone (devices + depot).
+pub fn render_scenario_svg(scenario: &Scenario) -> String {
+    let mut svg = header();
+    draw_scenario(&mut svg, scenario, &Mapper::new(scenario), &[]);
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders the scenario with a plan overlaid: the closed tour, each stop's
+/// coverage disc, and collected devices highlighted.
+pub fn render_plan_svg(scenario: &Scenario, plan: &CollectionPlan) -> String {
+    let m = Mapper::new(scenario);
+    let mut svg = header();
+
+    // Collected-device set for coloring.
+    let mut collected = vec![false; scenario.num_devices()];
+    for stop in &plan.stops {
+        for &(dev, _) in &stop.collected {
+            collected[dev.index()] = true;
+        }
+    }
+
+    // Coverage discs under everything else.
+    let r0 = m.d(scenario.coverage_radius().value());
+    for stop in &plan.stops {
+        svg.push_str(&format!(
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"#4c78a8\" fill-opacity=\"0.10\" stroke=\"#4c78a8\" stroke-opacity=\"0.35\"/>\n",
+            m.x(stop.pos.x),
+            m.y(stop.pos.y),
+            r0,
+        ));
+    }
+
+    // Tour polyline depot -> stops -> depot.
+    let mut points = format!("{:.1},{:.1}", m.x(scenario.depot.x), m.y(scenario.depot.y));
+    for stop in &plan.stops {
+        points.push_str(&format!(" {:.1},{:.1}", m.x(stop.pos.x), m.y(stop.pos.y)));
+    }
+    points.push_str(&format!(" {:.1},{:.1}", m.x(scenario.depot.x), m.y(scenario.depot.y)));
+    svg.push_str(&format!(
+        "  <polyline points=\"{points}\" fill=\"none\" stroke=\"#e45756\" stroke-width=\"1.5\"/>\n"
+    ));
+
+    draw_scenario(&mut svg, scenario, &m, &collected);
+
+    // Stops on top.
+    for (i, stop) in plan.stops.iter().enumerate() {
+        svg.push_str(&format!(
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3.2\" fill=\"#e45756\"><title>stop {} — {:.1} s</title></circle>\n",
+            m.x(stop.pos.x),
+            m.y(stop.pos.y),
+            i,
+            stop.sojourn.value(),
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes an SVG string to a file, creating parent directories.
+pub fn write_svg(path: &std::path::Path, svg: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, svg)
+}
+
+fn header() -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{c}\" height=\"{c}\" viewBox=\"0 0 {c} {c}\">\n  <rect width=\"{c}\" height=\"{c}\" fill=\"#fdfdfc\"/>\n",
+        c = CANVAS
+    )
+}
+
+fn draw_scenario(svg: &mut String, scenario: &Scenario, m: &Mapper, collected: &[bool]) {
+    // Region outline.
+    let r = &scenario.region;
+    svg.push_str(&format!(
+        "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"none\" stroke=\"#bbb\"/>\n",
+        m.x(r.min.x),
+        m.y(r.max.y),
+        m.d(r.width()),
+        m.d(r.height()),
+    ));
+    // Devices: radius scaled by sqrt(volume), colored by collection state.
+    let max_vol = scenario
+        .devices
+        .iter()
+        .map(|d| d.data.value())
+        .fold(1.0f64, f64::max);
+    for (i, dev) in scenario.devices.iter().enumerate() {
+        let rr = 1.5 + 3.5 * (dev.data.value() / max_vol).sqrt();
+        let fill = if collected.get(i).copied().unwrap_or(false) { "#54a24b" } else { "#9d9d9d" };
+        svg.push_str(&format!(
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"{}\"><title>device {} — {:.0} MB</title></circle>\n",
+            m.x(dev.pos.x),
+            m.y(dev.pos.y),
+            rr,
+            fill,
+            i,
+            dev.data.value(),
+        ));
+    }
+    // Depot.
+    svg.push_str(&format!(
+        "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"9\" height=\"9\" fill=\"#f58518\" stroke=\"#333\"><title>depot</title></rect>\n",
+        m.x(scenario.depot.x) - 4.5,
+        m.y(scenario.depot.y) - 4.5,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavdc_core::{Alg2Planner, Planner};
+    use uavdc_net::generator::{uniform, ScenarioParams};
+
+    fn small() -> Scenario {
+        uniform(&ScenarioParams::default().scaled(0.04), 3)
+    }
+
+    #[test]
+    fn scenario_svg_contains_all_devices_and_depot() {
+        let s = small();
+        let svg = render_scenario_svg(&s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), s.num_devices());
+        assert!(svg.contains("depot"));
+    }
+
+    #[test]
+    fn plan_svg_adds_tour_discs_and_stops() {
+        let s = small();
+        let plan = Alg2Planner::default().plan(&s);
+        assert!(!plan.stops.is_empty());
+        let svg = render_plan_svg(&s, &plan);
+        assert!(svg.contains("<polyline"));
+        // Coverage disc + stop marker per stop, plus device circles.
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, s.num_devices() + 2 * plan.stops.len());
+        assert!(svg.contains("fill-opacity"));
+        // Collected devices get the green fill.
+        assert!(svg.contains("#54a24b"));
+    }
+
+    #[test]
+    fn coordinates_stay_on_canvas() {
+        let s = small();
+        let plan = Alg2Planner::default().plan(&s);
+        let svg = render_plan_svg(&s, &plan);
+        for cap in svg.split("cx=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=800.0).contains(&v), "cx {v} off canvas");
+        }
+        for cap in svg.split("cy=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=800.0).contains(&v), "cy {v} off canvas");
+        }
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let s = small();
+        let svg = render_scenario_svg(&s);
+        let dir = std::env::temp_dir().join("uavdc_svg_test");
+        let path = dir.join("scene.svg");
+        write_svg(&path, &svg).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
