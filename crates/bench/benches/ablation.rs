@@ -43,11 +43,15 @@ fn bench_matching_backends(c: &mut Criterion) {
         .map(|i| (((i * 37) % 500) as f64, ((i * 61) % 500) as f64))
         .collect();
     let m = DistMatrix::from_euclidean(&pts);
-    for (name, backend) in
-        [("blossom", MatchingBackend::Blossom), ("greedy", MatchingBackend::Greedy)]
-    {
+    for (name, backend) in [
+        ("blossom", MatchingBackend::Blossom),
+        ("greedy", MatchingBackend::Greedy),
+    ] {
         group.bench_function(name, |b| {
-            let cfg = ChristofidesConfig { matching: backend, polish: false };
+            let cfg = ChristofidesConfig {
+                matching: backend,
+                polish: false,
+            };
             b.iter(|| christofides_with(&m, &cfg));
         });
     }
@@ -57,8 +61,9 @@ fn bench_matching_backends(c: &mut Criterion) {
 fn bench_orienteering_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_orienteering_backend");
     group.sample_size(10);
-    let pts: Vec<(f64, f64)> =
-        (0..40).map(|i| (((i * 41) % 300) as f64, ((i * 73) % 300) as f64)).collect();
+    let pts: Vec<(f64, f64)> = (0..40)
+        .map(|i| (((i * 41) % 300) as f64, ((i * 73) % 300) as f64))
+        .collect();
     let m = DistMatrix::from_euclidean(&pts);
     let prizes: Vec<f64> = (0..40).map(|i| 1.0 + (i % 7) as f64).collect();
     let inst = OrienteeringInstance::new(m, prizes, 0, 500.0);

@@ -11,15 +11,21 @@ fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_battery_sweep");
     group.sample_size(10);
     for e in [3.0e5, 6.0e5, 9.0e5] {
-        let params = ScenarioParams::default().scaled(0.15).with_capacity(Joules(e));
+        let params = ScenarioParams::default()
+            .scaled(0.15)
+            .with_capacity(Joules(e));
         let scenario = uniform(&params, 1);
         group.bench_with_input(BenchmarkId::new("alg1", e as u64), &scenario, |b, s| {
             let planner = Alg1Planner::new(Alg1Config::default());
             b.iter(|| planner.plan(s));
         });
-        group.bench_with_input(BenchmarkId::new("benchmark", e as u64), &scenario, |b, s| {
-            b.iter(|| BenchmarkPlanner.plan(s));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("benchmark", e as u64),
+            &scenario,
+            |b, s| {
+                b.iter(|| BenchmarkPlanner.plan(s));
+            },
+        );
     }
     group.finish();
 }

@@ -11,7 +11,10 @@ fn bench_fig4(c: &mut Criterion) {
     let scenario = uniform(&params, 1);
     for delta in [5.0, 15.0, 30.0] {
         group.bench_with_input(BenchmarkId::new("alg2", delta as u64), &scenario, |b, s| {
-            let p = Alg2Planner::new(Alg2Config { delta, ..Alg2Config::default() });
+            let p = Alg2Planner::new(Alg2Config {
+                delta,
+                ..Alg2Config::default()
+            });
             b.iter(|| p.plan(s));
         });
         for k in [2usize, 4] {
@@ -19,7 +22,11 @@ fn bench_fig4(c: &mut Criterion) {
                 BenchmarkId::new(format!("alg3_k{k}"), delta as u64),
                 &scenario,
                 |b, s| {
-                    let p = Alg3Planner::new(Alg3Config { delta, k, ..Alg3Config::default() });
+                    let p = Alg3Planner::new(Alg3Config {
+                        delta,
+                        k,
+                        ..Alg3Config::default()
+                    });
                     b.iter(|| p.plan(s));
                 },
             );

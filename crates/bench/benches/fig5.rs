@@ -10,7 +10,9 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_battery_sweep_overlap");
     group.sample_size(10);
     for e in [3.0e5, 6.0e5, 9.0e5] {
-        let params = ScenarioParams::default().scaled(0.15).with_capacity(Joules(e));
+        let params = ScenarioParams::default()
+            .scaled(0.15)
+            .with_capacity(Joules(e));
         let scenario = uniform(&params, 1);
         group.bench_with_input(BenchmarkId::new("alg2", e as u64), &scenario, |b, s| {
             let p = Alg2Planner::default();
@@ -20,9 +22,13 @@ fn bench_fig5(c: &mut Criterion) {
             let p = Alg3Planner::with_k(4);
             b.iter(|| p.plan(s));
         });
-        group.bench_with_input(BenchmarkId::new("benchmark", e as u64), &scenario, |b, s| {
-            b.iter(|| BenchmarkPlanner.plan(s));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("benchmark", e as u64),
+            &scenario,
+            |b, s| {
+                b.iter(|| BenchmarkPlanner.plan(s));
+            },
+        );
     }
     group.finish();
 }

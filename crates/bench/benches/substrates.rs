@@ -16,7 +16,9 @@ fn bench_spatial_index(c: &mut Criterion) {
     let pts: Vec<Point2> = (0..5000)
         .map(|i| Point2::new(((i * 37) % 1000) as f64, ((i * 61) % 1000) as f64))
         .collect();
-    group.bench_function("grid_build_5000", |b| b.iter(|| SpatialGrid::build(&pts, 50.0)));
+    group.bench_function("grid_build_5000", |b| {
+        b.iter(|| SpatialGrid::build(&pts, 50.0))
+    });
     group.bench_function("kdtree_build_5000", |b| b.iter(|| KdTree::build(&pts)));
     let grid = SpatialGrid::build(&pts, 50.0);
     let tree = KdTree::build(&pts);

@@ -37,17 +37,24 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                cfg.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--instances" => {
-                cfg.num_instances =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.num_instances = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seed" => {
-                cfg.base_seed =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.base_seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--serial" => {

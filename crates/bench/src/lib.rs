@@ -60,7 +60,11 @@ impl Default for HarnessConfig {
 impl HarnessConfig {
     /// A configuration small enough for CI and Criterion.
     pub fn quick() -> Self {
-        HarnessConfig { num_instances: 3, scale: 0.2, ..HarnessConfig::default() }
+        HarnessConfig {
+            num_instances: 3,
+            scale: 0.2,
+            ..HarnessConfig::default()
+        }
     }
 }
 
@@ -120,15 +124,22 @@ impl AlgorithmSpec {
 
     fn plan(&self, scenario: &Scenario) -> CollectionPlan {
         match *self {
-            AlgorithmSpec::Alg1 { delta } => {
-                Alg1Planner::new(Alg1Config { delta, ..Alg1Config::default() }).plan(scenario)
-            }
-            AlgorithmSpec::Alg2 { delta } => {
-                Alg2Planner::new(Alg2Config { delta, ..Alg2Config::default() }).plan(scenario)
-            }
-            AlgorithmSpec::Alg3 { delta, k } => {
-                Alg3Planner::new(Alg3Config { delta, k, ..Alg3Config::default() }).plan(scenario)
-            }
+            AlgorithmSpec::Alg1 { delta } => Alg1Planner::new(Alg1Config {
+                delta,
+                ..Alg1Config::default()
+            })
+            .plan(scenario),
+            AlgorithmSpec::Alg2 { delta } => Alg2Planner::new(Alg2Config {
+                delta,
+                ..Alg2Config::default()
+            })
+            .plan(scenario),
+            AlgorithmSpec::Alg3 { delta, k } => Alg3Planner::new(Alg3Config {
+                delta,
+                k,
+                ..Alg3Config::default()
+            })
+            .plan(scenario),
             AlgorithmSpec::Benchmark => BenchmarkPlanner.plan(scenario),
         }
     }
@@ -140,6 +151,7 @@ fn run_once(spec: AlgorithmSpec, scenario: &Scenario, check: bool) -> (f64, f64,
     let plan = spec.plan(scenario);
     let dt = start.elapsed().as_secs_f64();
     plan.validate(scenario)
+        // lint:allow(panic-site): the harness fails fast on invalid plans by design
         .unwrap_or_else(|e| panic!("{} produced invalid plan: {e}", spec.label()));
     if check {
         let outcome = simulate(scenario, &plan, &SimConfig::default());
@@ -170,7 +182,9 @@ fn average_point(
     let n = cfg.num_instances.max(1);
     let mut results = vec![(0.0, 0.0, 0.0, 0.0); n];
     if cfg.parallel_instances && n > 1 {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
         let _ = threads;
         crossbeam::thread::scope(|scope| {
             for (i, slot) in results.iter_mut().enumerate() {
@@ -182,6 +196,7 @@ fn average_point(
                 });
             }
         })
+        // lint:allow(panic-site): Err only when a worker thread panicked; re-raising is correct
         .expect("instance thread panicked");
     } else {
         for (i, slot) in results.iter_mut().enumerate() {
@@ -215,9 +230,14 @@ pub fn delta_sweep() -> Vec<f64> {
 pub fn run_fig3(cfg: &HarnessConfig) -> Vec<DataPoint> {
     let mut out = Vec::new();
     for &e in &energy_sweep() {
-        let params = ScenarioParams::default().scaled(cfg.scale).with_capacity(Joules(e));
+        let params = ScenarioParams::default()
+            .scaled(cfg.scale)
+            .with_capacity(Joules(e));
         let make = move |seed: u64| uniform(&params, seed);
-        for spec in [AlgorithmSpec::Alg1 { delta: 10.0 }, AlgorithmSpec::Benchmark] {
+        for spec in [
+            AlgorithmSpec::Alg1 { delta: 10.0 },
+            AlgorithmSpec::Benchmark,
+        ] {
             out.push(average_point(cfg, spec, e, &make));
         }
     }
@@ -246,7 +266,9 @@ pub fn run_fig4(cfg: &HarnessConfig) -> Vec<DataPoint> {
 pub fn run_fig5(cfg: &HarnessConfig) -> Vec<DataPoint> {
     let mut out = Vec::new();
     for &e in &energy_sweep() {
-        let params = ScenarioParams::default().scaled(cfg.scale).with_capacity(Joules(e));
+        let params = ScenarioParams::default()
+            .scaled(cfg.scale)
+            .with_capacity(Joules(e));
         let make = move |seed: u64| uniform(&params, seed);
         for spec in [
             AlgorithmSpec::Alg2 { delta: 10.0 },
@@ -305,9 +327,13 @@ pub fn run_wind_sweep(cfg: &HarnessConfig) -> Vec<DataPoint> {
             let mut derated = scenario.clone();
             derated.uav.capacity = scenario.uav.capacity * (1.0 - margin);
             let started = Instant::now();
-            let plan =
-                Alg2Planner::new(Alg2Config { delta: 10.0, ..Alg2Config::default() }).plan(&derated);
+            let plan = Alg2Planner::new(Alg2Config {
+                delta: 10.0,
+                ..Alg2Config::default()
+            })
+            .plan(&derated);
             runtime += started.elapsed().as_secs_f64();
+            // lint:allow(panic-site): the harness fails fast on invalid plans by design
             plan.validate(&derated).expect("valid derated plan");
             let sim_cfg = SimConfig {
                 wind: WindModel::uniform(1.0, 1.5, seed ^ 0x77aa),
@@ -353,11 +379,15 @@ pub fn run_fleet_sweep(cfg: &HarnessConfig) -> Vec<DataPoint> {
             let scenario = uniform(&params, seed);
             let started = Instant::now();
             let fleet = MultiUavPlanner::new(
-                Alg2Planner::new(Alg2Config { delta: 10.0, ..Alg2Config::default() }),
+                Alg2Planner::new(Alg2Config {
+                    delta: 10.0,
+                    ..Alg2Config::default()
+                }),
                 FleetConfig::new(m),
             )
             .plan_fleet(&scenario);
             runtime += started.elapsed().as_secs_f64();
+            // lint:allow(panic-site): the harness fails fast on invalid plans by design
             fleet.validate(&scenario).expect("valid fleet plan");
             gb += megabytes_as_gb(fleet.collected_volume());
             busiest += fleet.max_energy(&scenario).value();
@@ -392,13 +422,20 @@ pub fn print_table(title: &str, x_label: &str, points: &[DataPoint]) {
 }
 
 /// Writes data points as CSV (header + one row per point).
-pub fn write_csv(path: &std::path::Path, x_label: &str, points: &[DataPoint]) -> std::io::Result<()> {
+pub fn write_csv(
+    path: &std::path::Path,
+    x_label: &str,
+    points: &[DataPoint],
+) -> std::io::Result<()> {
     use std::io::Write;
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{x_label},algorithm,collected_gb,runtime_s,energy_used_j,stops")?;
+    writeln!(
+        f,
+        "{x_label},algorithm,collected_gb,runtime_s,energy_used_j,stops"
+    )?;
     for p in points {
         writeln!(
             f,
@@ -430,8 +467,14 @@ mod tests {
         // At every E, Algorithm 1 collects at least as much as the
         // benchmark (the paper reports ~2x at E = 3e5).
         for e in energy_sweep() {
-            let a1 = pts.iter().find(|p| p.x == e && p.algorithm == "Algorithm 1").unwrap();
-            let bench = pts.iter().find(|p| p.x == e && p.algorithm == "Benchmark").unwrap();
+            let a1 = pts
+                .iter()
+                .find(|p| p.x == e && p.algorithm == "Algorithm 1")
+                .unwrap();
+            let bench = pts
+                .iter()
+                .find(|p| p.x == e && p.algorithm == "Benchmark")
+                .unwrap();
             assert!(
                 a1.collected_gb >= bench.collected_gb * 0.95,
                 "E={e}: alg1 {} < benchmark {}",
@@ -444,27 +487,48 @@ mod tests {
     #[test]
     fn fig4_shape_partial_beats_full_beats_benchmark() {
         let cfg = tiny();
-        let pts = run_fig4(&HarnessConfig { num_instances: 1, ..cfg });
+        let pts = run_fig4(&HarnessConfig {
+            num_instances: 1,
+            ..cfg
+        });
         for &delta in &[5.0, 30.0] {
-            let a2 = pts.iter().find(|p| p.x == delta && p.algorithm == "Algorithm 2").unwrap();
+            let a2 = pts
+                .iter()
+                .find(|p| p.x == delta && p.algorithm == "Algorithm 2")
+                .unwrap();
             let a3 = pts
                 .iter()
                 .find(|p| p.x == delta && p.algorithm == "Algorithm 3 (K=4)")
                 .unwrap();
-            let bench = pts.iter().find(|p| p.x == delta && p.algorithm == "Benchmark").unwrap();
+            let bench = pts
+                .iter()
+                .find(|p| p.x == delta && p.algorithm == "Benchmark")
+                .unwrap();
             assert!(a3.collected_gb >= a2.collected_gb - 1e-9);
-            assert!(a2.collected_gb >= bench.collected_gb * 0.9,
-                "δ={delta}: alg2 {} vs bench {}", a2.collected_gb, bench.collected_gb);
+            assert!(
+                a2.collected_gb >= bench.collected_gb * 0.9,
+                "δ={delta}: alg2 {} vs bench {}",
+                a2.collected_gb,
+                bench.collected_gb
+            );
         }
     }
 
     #[test]
     fn fig5_collected_grows_with_energy() {
-        let pts = run_fig5(&HarnessConfig { num_instances: 1, ..tiny() });
+        let pts = run_fig5(&HarnessConfig {
+            num_instances: 1,
+            ..tiny()
+        });
         for alg in ["Algorithm 2", "Algorithm 3 (K=2)", "Benchmark"] {
             let series: Vec<f64> = energy_sweep()
                 .iter()
-                .map(|&e| pts.iter().find(|p| p.x == e && p.algorithm == alg).unwrap().collected_gb)
+                .map(|&e| {
+                    pts.iter()
+                        .find(|p| p.x == e && p.algorithm == alg)
+                        .unwrap()
+                        .collected_gb
+                })
                 .collect();
             for w in series.windows(2) {
                 assert!(w[1] >= w[0] - 0.05, "{alg} series not monotone: {series:?}");

@@ -110,9 +110,20 @@ impl Planner for Alg1Planner {
             }
             // Under the Raw filter a stop can be fully redundant; keep it
             // on the tour (the energy was budgeted) but hover zero time.
-            stops.push(HoverStop { pos: cand.pos, sojourn, collected: stop_collect });
+            stops.push(HoverStop {
+                pos: cand.pos,
+                sojourn,
+                collected: stop_collect,
+            });
         }
-        CollectionPlan { stops }
+        let plan = CollectionPlan { stops };
+        crate::validate::debug_check_plan(
+            "Alg1Planner",
+            scenario,
+            &plan,
+            crate::validate::Profile::P1FullDisjoint,
+        );
+        plan
     }
 }
 
@@ -129,13 +140,25 @@ mod tests {
         Scenario {
             region: Aabb::square(200.0),
             devices: vec![
-                IotDevice { pos: Point2::new(40.0, 40.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(48.0, 40.0), data: MegaBytes(450.0) },
-                IotDevice { pos: Point2::new(180.0, 180.0), data: MegaBytes(900.0) },
+                IotDevice {
+                    pos: Point2::new(40.0, 40.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(48.0, 40.0),
+                    data: MegaBytes(450.0),
+                },
+                IotDevice {
+                    pos: Point2::new(180.0, 180.0),
+                    data: MegaBytes(900.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -176,7 +199,10 @@ mod tests {
     #[test]
     fn raw_filter_never_overcollects() {
         let s = scenario(20_000.0);
-        let cfg = Alg1Config { filter: CandidateFilter::Raw, ..Alg1Config::default() };
+        let cfg = Alg1Config {
+            filter: CandidateFilter::Raw,
+            ..Alg1Config::default()
+        };
         let plan = Alg1Planner::new(cfg).plan(&s);
         plan.validate(&s).unwrap(); // validator rejects double collection
         assert!(plan.collected_volume() <= s.total_data());
@@ -190,14 +216,21 @@ mod tests {
         let s = scenario(20_000.0);
         let plan = Alg1Planner::default().plan(&s);
         for stop in &plan.stops {
-            assert!(!stop.collected.is_empty(), "disjoint mode must not produce empty stops");
+            assert!(
+                !stop.collected.is_empty(),
+                "disjoint mode must not produce empty stops"
+            );
         }
     }
 
     #[test]
     fn exact_backend_on_tiny_instance() {
         let s = scenario(3000.0);
-        let cfg = Alg1Config { delta: 25.0, backend: Backend::Exact, ..Alg1Config::default() };
+        let cfg = Alg1Config {
+            delta: 25.0,
+            backend: Backend::Exact,
+            ..Alg1Config::default()
+        };
         let plan = Alg1Planner::new(cfg).plan(&s);
         plan.validate(&s).unwrap();
         // Exact backend must do at least as well as greedy.

@@ -144,7 +144,13 @@ impl<'a> GreedyState<'a> {
 
     /// Evaluates one candidate under FastInsertion; `None` when inactive,
     /// empty, or infeasible right now.
-    fn evaluate_insertion(&self, cand: usize, capacity: f64, eta_h: f64, per_m: f64) -> Option<Evaluation> {
+    fn evaluate_insertion(
+        &self,
+        cand: usize,
+        capacity: f64,
+        eta_h: f64,
+        per_m: f64,
+    ) -> Option<Evaluation> {
         if !self.active[cand] {
             return None;
         }
@@ -152,21 +158,30 @@ impl<'a> GreedyState<'a> {
         if vol <= 0.0 {
             return None;
         }
-        let (delta_len, pos) = cheapest_insertion_point(
-            &self.tour_pts,
-            self.candidates.candidates[cand].pos,
-        );
+        let (delta_len, pos) =
+            cheapest_insertion_point(&self.tour_pts, self.candidates.candidates[cand].pos);
         let extra = t * eta_h + delta_len * per_m;
         let total = self.hover_energy_total + t * eta_h + (self.tour_len + delta_len) * per_m;
         if total > capacity {
             return None;
         }
-        Some(Evaluation { cand, ratio: vol / extra.max(1e-12), sojourn: t, insert_pos: pos })
+        Some(Evaluation {
+            cand,
+            ratio: vol / extra.max(1e-12),
+            sojourn: t,
+            insert_pos: pos,
+        })
     }
 
     /// Evaluates one candidate under PaperChristofides: re-tours the full
     /// stop set with the candidate included.
-    fn evaluate_christofides(&self, cand: usize, capacity: f64, eta_h: f64, per_m: f64) -> Option<Evaluation> {
+    fn evaluate_christofides(
+        &self,
+        cand: usize,
+        capacity: f64,
+        eta_h: f64,
+        per_m: f64,
+    ) -> Option<Evaluation> {
         if !self.active[cand] {
             return None;
         }
@@ -185,7 +200,12 @@ impl<'a> GreedyState<'a> {
             return None;
         }
         // Insert position is recomputed at commit time in this mode.
-        Some(Evaluation { cand, ratio: vol / extra.max(1e-12), sojourn: t, insert_pos: usize::MAX })
+        Some(Evaluation {
+            cand,
+            ratio: vol / extra.max(1e-12),
+            sojourn: t,
+            insert_pos: usize::MAX,
+        })
     }
 
     /// Commits the chosen candidate: collects its uncovered devices,
@@ -241,8 +261,12 @@ impl<'a> GreedyState<'a> {
         if self.tour_pts.len() < 4 {
             return;
         }
-        let paired: Vec<(Point2, usize)> =
-            self.tour_pts.iter().copied().zip(self.stop_of.iter().copied()).collect();
+        let paired: Vec<(Point2, usize)> = self
+            .tour_pts
+            .iter()
+            .copied()
+            .zip(self.stop_of.iter().copied())
+            .collect();
         let paired = two_opt_paired(paired);
         self.tour_pts = paired.iter().map(|p| p.0).collect();
         self.stop_of = paired.iter().map(|p| p.1).collect();
@@ -324,7 +348,10 @@ fn best_evaluation(
         return best;
     }
     // Parallel: chunk the candidate range over scoped threads.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16);
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Option<Evaluation>> = vec![None; threads];
     crossbeam::thread::scope(|scope| {
@@ -353,11 +380,15 @@ fn best_evaluation(
             });
         }
     })
+    // lint:allow(panic-site): Err only when a worker thread panicked; re-raising is correct
     .expect("candidate evaluation thread panicked");
-    results.into_iter().flatten().fold(None, |acc, e| match acc {
-        None => Some(e),
-        Some(b) => Some(if better(&e, &b) { e } else { b }),
-    })
+    results
+        .into_iter()
+        .flatten()
+        .fold(None, |acc, e| match acc {
+            None => Some(e),
+            Some(b) => Some(if better(&e, &b) { e } else { b }),
+        })
 }
 
 impl Planner for Alg2Planner {
@@ -378,10 +409,16 @@ impl Planner for Alg2Planner {
         }
         let mut state = GreedyState::new(scenario, &candidates);
         let mut since_compact = 0;
-        while let Some(eval) =
-            best_evaluation(&state, self.config.tour_mode, self.config.parallel_threshold)
-        {
-            state.commit(eval, self.config.tour_mode, scenario.uav.hover_power.value());
+        while let Some(eval) = best_evaluation(
+            &state,
+            self.config.tour_mode,
+            self.config.parallel_threshold,
+        ) {
+            state.commit(
+                eval,
+                self.config.tour_mode,
+                scenario.uav.hover_power.value(),
+            );
             since_compact += 1;
             if self.config.tour_mode == TourMode::FastInsertion && since_compact >= 8 {
                 state.compact();
@@ -391,7 +428,14 @@ impl Planner for Alg2Planner {
         if self.config.tour_mode == TourMode::FastInsertion {
             state.compact();
         }
-        state.into_plan()
+        let plan = state.into_plan();
+        crate::validate::debug_check_plan(
+            "Alg2Planner",
+            scenario,
+            &plan,
+            crate::validate::Profile::P2FullOverlap,
+        );
+        plan
     }
 }
 
@@ -406,14 +450,29 @@ mod tests {
         Scenario {
             region: Aabb::square(200.0),
             devices: vec![
-                IotDevice { pos: Point2::new(40.0, 40.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(48.0, 40.0), data: MegaBytes(450.0) },
-                IotDevice { pos: Point2::new(60.0, 44.0), data: MegaBytes(150.0) },
-                IotDevice { pos: Point2::new(180.0, 180.0), data: MegaBytes(900.0) },
+                IotDevice {
+                    pos: Point2::new(40.0, 40.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(48.0, 40.0),
+                    data: MegaBytes(450.0),
+                },
+                IotDevice {
+                    pos: Point2::new(60.0, 44.0),
+                    data: MegaBytes(150.0),
+                },
+                IotDevice {
+                    pos: Point2::new(180.0, 180.0),
+                    data: MegaBytes(900.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -483,8 +542,16 @@ mod tests {
         // More candidates can only help the greedy (it has strictly more
         // choices); allow small tolerance for tie-breaking noise.
         let s = scenario(5000.0);
-        let coarse = Alg2Planner::new(Alg2Config { delta: 40.0, ..Alg2Config::default() }).plan(&s);
-        let fine = Alg2Planner::new(Alg2Config { delta: 5.0, ..Alg2Config::default() }).plan(&s);
+        let coarse = Alg2Planner::new(Alg2Config {
+            delta: 40.0,
+            ..Alg2Config::default()
+        })
+        .plan(&s);
+        let fine = Alg2Planner::new(Alg2Config {
+            delta: 5.0,
+            ..Alg2Config::default()
+        })
+        .plan(&s);
         assert!(
             fine.collected_volume().value() >= 0.9 * coarse.collected_volume().value(),
             "fine {} vs coarse {}",

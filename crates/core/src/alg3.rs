@@ -40,7 +40,12 @@ pub struct Alg3Config {
 
 impl Default for Alg3Config {
     fn default() -> Self {
-        Alg3Config { delta: 10.0, k: 2, prune_dominated: true, parallel_threshold: 4096 }
+        Alg3Config {
+            delta: 10.0,
+            k: 2,
+            prune_dominated: true,
+            parallel_threshold: 4096,
+        }
     }
 }
 
@@ -59,7 +64,12 @@ impl Alg3Planner {
 
     /// Convenience constructor: default configuration with the given `K`.
     pub fn with_k(k: usize) -> Self {
-        Alg3Planner { config: Alg3Config { k, ..Alg3Config::default() } }
+        Alg3Planner {
+            config: Alg3Config {
+                k,
+                ..Alg3Config::default()
+            },
+        }
     }
 }
 
@@ -108,7 +118,14 @@ impl<'a> PartialState<'a> {
 
     /// Best virtual location of candidate `c` (over `k = 1..=K`), or
     /// `None` when inactive/empty/infeasible.
-    fn evaluate(&self, c: usize, k_parts: usize, capacity: f64, eta_h: f64, per_m: f64) -> Option<VirtualEval> {
+    fn evaluate(
+        &self,
+        c: usize,
+        k_parts: usize,
+        capacity: f64,
+        eta_h: f64,
+        per_m: f64,
+    ) -> Option<VirtualEval> {
         if !self.active[c] {
             return None;
         }
@@ -134,20 +151,26 @@ impl<'a> PartialState<'a> {
             let tau = t_full * (k as f64) / (k_parts as f64);
             // Volume collected in τ: every covered device uploads in
             // parallel at B, truncated by its residual.
-            let vol: f64 = covered.iter().map(|&v| self.residual[v as usize].min(b * tau)).sum();
+            let vol: f64 = covered
+                .iter()
+                .map(|&v| self.residual[v as usize].min(b * tau))
+                .sum();
             if vol <= 1e-9 {
                 continue;
             }
             let hover_extra = tau * eta_h;
-            let total = self.hover_energy_total
-                + hover_extra
-                + (self.tour_len + delta_len) * per_m;
+            let total = self.hover_energy_total + hover_extra + (self.tour_len + delta_len) * per_m;
             if total > capacity {
                 continue;
             }
             let ratio = vol / (hover_extra + travel_extra).max(1e-12);
             if best.as_ref().is_none_or(|e| ratio > e.ratio) {
-                best = Some(VirtualEval { cand: c, tau, ratio, insert_pos });
+                best = Some(VirtualEval {
+                    cand: c,
+                    tau,
+                    ratio,
+                    insert_pos,
+                });
             }
         }
         best
@@ -234,7 +257,10 @@ fn best_virtual(
         }
         return best;
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16);
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Option<VirtualEval>> = vec![None; threads];
     crossbeam::thread::scope(|scope| {
@@ -255,11 +281,15 @@ fn best_virtual(
             });
         }
     })
+    // lint:allow(panic-site): Err only when a worker thread panicked; re-raising is correct
     .expect("candidate evaluation thread panicked");
-    results.into_iter().flatten().fold(None, |acc, e| match acc {
-        None => Some(e),
-        Some(b) => Some(if better(&e, &b) { e } else { b }),
-    })
+    results
+        .into_iter()
+        .flatten()
+        .fold(None, |acc, e| match acc {
+            None => Some(e),
+            Some(b) => Some(if better(&e, &b) { e } else { b }),
+        })
 }
 
 impl Planner for Alg3Planner {
@@ -280,7 +310,11 @@ impl Planner for Alg3Planner {
         // Each commit either exhausts at least one virtual step of one
         // candidate or collects real data; the cap is a safety net for
         // degenerate float behaviour.
-        let max_iters = candidates.len().saturating_mul(self.config.k).saturating_mul(4) + 64;
+        let max_iters = candidates
+            .len()
+            .saturating_mul(self.config.k)
+            .saturating_mul(4)
+            + 64;
         for _ in 0..max_iters {
             match best_virtual(&state, self.config.k, self.config.parallel_threshold) {
                 Some(eval) => {
@@ -292,7 +326,14 @@ impl Planner for Alg3Planner {
                 None => break,
             }
         }
-        state.into_plan()
+        let plan = state.into_plan();
+        crate::validate::debug_check_plan(
+            "Alg3Planner",
+            scenario,
+            &plan,
+            crate::validate::Profile::P3Partial,
+        );
+        plan
     }
 }
 
@@ -308,14 +349,29 @@ mod tests {
         Scenario {
             region: Aabb::square(200.0),
             devices: vec![
-                IotDevice { pos: Point2::new(40.0, 40.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(48.0, 40.0), data: MegaBytes(450.0) },
-                IotDevice { pos: Point2::new(60.0, 44.0), data: MegaBytes(150.0) },
-                IotDevice { pos: Point2::new(180.0, 180.0), data: MegaBytes(900.0) },
+                IotDevice {
+                    pos: Point2::new(40.0, 40.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(48.0, 40.0),
+                    data: MegaBytes(450.0),
+                },
+                IotDevice {
+                    pos: Point2::new(60.0, 44.0),
+                    data: MegaBytes(150.0),
+                },
+                IotDevice {
+                    pos: Point2::new(180.0, 180.0),
+                    data: MegaBytes(900.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -348,7 +404,11 @@ mod tests {
         // The whole point of Algorithm 3 (paper Fig. 4a): with partial
         // sojourns the UAV spends hovering energy more efficiently.
         let s = scenario(3500.0);
-        let full = Alg2Planner::new(Alg2Config { delta: 10.0, ..Alg2Config::default() }).plan(&s);
+        let full = Alg2Planner::new(Alg2Config {
+            delta: 10.0,
+            ..Alg2Config::default()
+        })
+        .plan(&s);
         let partial = Alg3Planner::with_k(4).plan(&s);
         partial.validate(&s).unwrap();
         assert!(
@@ -390,7 +450,10 @@ mod tests {
             }
         }
         for (i, &got) in per_device.iter().enumerate() {
-            assert!(got <= s.devices[i].data.value() + 1e-6, "device {i} overdrawn");
+            assert!(
+                got <= s.devices[i].data.value() + 1e-6,
+                "device {i} overdrawn"
+            );
         }
     }
 

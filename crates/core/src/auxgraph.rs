@@ -17,10 +17,10 @@
 
 use crate::candidates::CandidateSet;
 use uavdc_geom::Point2;
+use uavdc_graph::DistMatrix;
 use uavdc_net::units::MegaBytes;
 use uavdc_net::Scenario;
 use uavdc_orienteering::OrienteeringInstance;
-use uavdc_graph::DistMatrix;
 
 /// The constructed auxiliary graph plus the mapping back to candidates.
 #[derive(Clone, Debug)]
@@ -63,10 +63,19 @@ impl AuxGraph {
         let dist = DistMatrix::from_fn(n, |i, j| {
             (he[i] + he[j]) / 2.0 + pos[i].distance(pos[j]) * per_m
         });
-        debug_assert!(n > 40 || dist.is_metric(1e-9), "Eq. 9 weights must be metric (Lemma 1)");
-        let instance =
-            OrienteeringInstance::new(dist, prizes, 0, scenario.uav.capacity.value());
-        AuxGraph { instance, positions, hover_energy, hover_time }
+        debug_assert!(
+            n > 40 || dist.is_metric(1e-9),
+            "Eq. 9 weights must be metric (Lemma 1)"
+        );
+        let instance = OrienteeringInstance::new(dist, prizes, 0, scenario.uav.capacity.value());
+        let aux = AuxGraph {
+            instance,
+            positions,
+            hover_energy,
+            hover_time,
+        };
+        crate::validate::debug_check_aux_graph("AuxGraph::build", &aux);
+        aux
     }
 
     /// Exact hovering + travel energy of the closed tour visiting the
@@ -74,7 +83,11 @@ impl AuxGraph {
     /// auxiliary graph (each endpoint's half-energies summing to `w1`).
     pub fn tour_energy(&self, tour: &[usize]) -> f64 {
         if tour.len() < 2 {
-            return self.hover_energy.get(tour.first().copied().unwrap_or(0)).copied().unwrap_or(0.0);
+            return self
+                .hover_energy
+                .get(tour.first().copied().unwrap_or(0))
+                .copied()
+                .unwrap_or(0.0);
         }
         self.instance.tour_cost(tour)
     }
@@ -92,12 +105,21 @@ mod tests {
         Scenario {
             region: Aabb::square(100.0),
             devices: vec![
-                IotDevice { pos: Point2::new(20.0, 20.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(80.0, 80.0), data: MegaBytes(600.0) },
+                IotDevice {
+                    pos: Point2::new(20.0, 20.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(80.0, 80.0),
+                    data: MegaBytes(600.0),
+                },
             ],
             depot: Point2::new(50.0, 50.0),
             radio: RadioModel::new(Meters(15.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(10_000.0), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(10_000.0),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -119,7 +141,11 @@ mod tests {
         let cs = CandidateSet::build(&s, 10.0);
         let g = AuxGraph::build(&s, &cs);
         for (i, c) in cs.candidates.iter().enumerate() {
-            let vol: f64 = c.covered.iter().map(|&v| s.devices[v as usize].data.value()).sum();
+            let vol: f64 = c
+                .covered
+                .iter()
+                .map(|&v| s.devices[v as usize].data.value())
+                .sum();
             let t: f64 = c
                 .covered
                 .iter()

@@ -85,7 +85,13 @@ impl Planner for BenchmarkPlanner {
         let index = SpatialGrid::build(&positions, r0.max(1.0));
         let coverage: Vec<Vec<u32>> = positions
             .iter()
-            .map(|&p| index.query_radius(p, r0).into_iter().map(|i| i as u32).collect())
+            .map(|&p| {
+                index
+                    .query_radius(p, r0)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect()
+            })
             .collect();
 
         // Initial Christofides tour over depot + all devices (polished
@@ -97,9 +103,16 @@ impl Planner for BenchmarkPlanner {
         pts.extend(positions.iter().copied());
         let order = christofides_order(&pts);
         let pts = apply_order(&pts, &order);
-        let dev_of: Vec<usize> =
-            order.iter().map(|&i| if i == 0 { usize::MAX } else { i - 1 }).collect();
-        let mut state = PruneState { scenario, pts, dev_of, coverage };
+        let dev_of: Vec<usize> = order
+            .iter()
+            .map(|&i| if i == 0 { usize::MAX } else { i - 1 })
+            .collect();
+        let mut state = PruneState {
+            scenario,
+            pts,
+            dev_of,
+            coverage,
+        };
 
         loop {
             let (_, hover_s, hover_energy) = state.assignments();
@@ -172,11 +185,17 @@ mod tests {
             region: Aabb::square(200.0),
             devices: devices
                 .into_iter()
-                .map(|(x, y, d)| IotDevice { pos: Point2::new(x, y), data: MegaBytes(d) })
+                .map(|(x, y, d)| IotDevice {
+                    pos: Point2::new(x, y),
+                    data: MegaBytes(d),
+                })
                 .collect(),
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -184,7 +203,11 @@ mod tests {
     fn generous_budget_collects_everything() {
         let s = scenario(
             50_000.0,
-            vec![(40.0, 40.0, 300.0), (120.0, 50.0, 450.0), (60.0, 150.0, 150.0)],
+            vec![
+                (40.0, 40.0, 300.0),
+                (120.0, 50.0, 450.0),
+                (60.0, 150.0, 150.0),
+            ],
         );
         let plan = BenchmarkPlanner.plan(&s);
         plan.validate(&s).unwrap();
@@ -202,7 +225,11 @@ mod tests {
         let total_devices: usize = plan.stops.iter().map(|st| st.collected.len()).sum();
         assert_eq!(total_devices, 2, "each device collected exactly once");
         // The first covering stop got both; hover time is the max need.
-        let first = plan.stops.iter().find(|st| st.collected.len() == 2).unwrap();
+        let first = plan
+            .stops
+            .iter()
+            .find(|st| st.collected.len() == 2)
+            .unwrap();
         assert!((first.sojourn.value() - 4.0).abs() < 1e-9);
     }
 
@@ -210,7 +237,11 @@ mod tests {
     fn tight_budget_prunes_low_value_far_nodes() {
         let s = scenario(
             4000.0,
-            vec![(30.0, 30.0, 900.0), (35.0, 30.0, 800.0), (190.0, 190.0, 100.0)],
+            vec![
+                (30.0, 30.0, 900.0),
+                (35.0, 30.0, 800.0),
+                (190.0, 190.0, 100.0),
+            ],
         );
         let plan = BenchmarkPlanner.plan(&s);
         plan.validate(&s).unwrap();
@@ -219,7 +250,10 @@ mod tests {
             .iter()
             .flat_map(|st| st.collected.iter().map(|&(d, _)| d.0))
             .collect();
-        assert!(!kept.contains(&2), "far low-value node should be pruned, kept {kept:?}");
+        assert!(
+            !kept.contains(&2),
+            "far low-value node should be pruned, kept {kept:?}"
+        );
         assert!(kept.contains(&0) && kept.contains(&1));
     }
 
@@ -241,13 +275,18 @@ mod tests {
     fn feasible_for_a_range_of_budgets() {
         let devices: Vec<(f64, f64, f64)> = (0..40)
             .map(|i| {
-                (((i * 37) % 200) as f64, ((i * 53) % 200) as f64, 100.0 + (i * 23 % 900) as f64)
+                (
+                    ((i * 37) % 200) as f64,
+                    ((i * 53) % 200) as f64,
+                    100.0 + (i * 23 % 900) as f64,
+                )
             })
             .collect();
         for cap in [500.0, 2000.0, 10_000.0, 100_000.0] {
             let s = scenario(cap, devices.clone());
             let plan = BenchmarkPlanner.plan(&s);
-            plan.validate(&s).unwrap_or_else(|e| panic!("capacity {cap}: {e}"));
+            plan.validate(&s)
+                .unwrap_or_else(|e| panic!("capacity {cap}: {e}"));
         }
     }
 
@@ -255,14 +294,21 @@ mod tests {
     fn collected_volume_monotone_in_budget() {
         let devices: Vec<(f64, f64, f64)> = (0..30)
             .map(|i| {
-                (((i * 41) % 200) as f64, ((i * 29) % 200) as f64, 200.0 + (i * 31 % 700) as f64)
+                (
+                    ((i * 41) % 200) as f64,
+                    ((i * 29) % 200) as f64,
+                    200.0 + (i * 31 % 700) as f64,
+                )
             })
             .collect();
         let mut prev = -1.0;
         for cap in [1000.0, 5000.0, 20_000.0, 80_000.0] {
             let s = scenario(cap, devices.clone());
             let v = BenchmarkPlanner.plan(&s).collected_volume().value();
-            assert!(v >= prev - 1e-6, "volume decreased: {v} after {prev} at cap {cap}");
+            assert!(
+                v >= prev - 1e-6,
+                "volume decreased: {v} after {prev} at cap {cap}"
+            );
             prev = v;
         }
     }

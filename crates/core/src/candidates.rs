@@ -58,7 +58,10 @@ impl CandidateSet {
     /// # Panics
     /// Panics when `delta` is non-positive or non-finite.
     pub fn build(scenario: &Scenario, delta: f64) -> Self {
-        assert!(delta.is_finite() && delta > 0.0, "delta must be positive, got {delta}");
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta must be positive, got {delta}"
+        );
         let r0 = scenario.coverage_radius().value();
         let grid = GridSpec::for_region(&scenario.region, delta);
         let positions = scenario.device_positions();
@@ -73,9 +76,16 @@ impl CandidateSet {
             }
             let mut covered: Vec<u32> = buf.iter().map(|&i| i as u32).collect();
             covered.sort_unstable();
-            candidates.push(Candidate { pos: center, covered });
+            candidates.push(Candidate {
+                pos: center,
+                covered,
+            });
         }
-        CandidateSet { delta, coverage_radius: r0, candidates }
+        CandidateSet {
+            delta,
+            coverage_radius: r0,
+            candidates,
+        }
     }
 
     /// Number of candidates.
@@ -96,13 +106,21 @@ impl CandidateSet {
     /// volume while shrinking the search space.
     pub fn prune_dominated(&mut self) {
         let n = self.candidates.len();
-        // Bucket candidates by their first covered device to limit the
-        // quadratic comparison to candidates that can actually intersect.
-        let mut by_first: std::collections::HashMap<u32, Vec<usize>> =
-            std::collections::HashMap::new();
+        // Bucket candidates by covered device to limit the quadratic
+        // comparison to candidates that can actually intersect. Device
+        // ids are dense, so a flat Vec indexed by id keeps the peer
+        // iteration order deterministic (a hash map's would not be).
+        let num_ids = self
+            .candidates
+            .iter()
+            .flat_map(|c| c.covered.iter())
+            .map(|&v| v as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_device: Vec<Vec<usize>> = vec![Vec::new(); num_ids];
         for (i, c) in self.candidates.iter().enumerate() {
             for &v in &c.covered {
-                by_first.entry(v).or_default().push(i);
+                by_device[v as usize].push(i);
             }
         }
         let mut dead = vec![false; n];
@@ -113,7 +131,7 @@ impl CandidateSet {
             // Candidates sharing the first device of i are the only
             // possible dominators.
             let first = self.candidates[i].covered[0];
-            if let Some(peers) = by_first.get(&first) {
+            if let Some(peers) = by_device.get(first as usize) {
                 for &j in peers {
                     if i == j || dead[j] {
                         continue;
@@ -148,7 +166,7 @@ impl CandidateSet {
         order.sort_by(|&a, &b| {
             let va = self.candidates[a].coverage_volume(&volumes).value();
             let vb = self.candidates[b].coverage_volume(&volumes).value();
-            vb.partial_cmp(&va).unwrap()
+            uavdc_geom::cmp_f64_desc(va, vb)
         });
         let mut taken_device = vec![false; scenario.num_devices()];
         let mut kept = Vec::new();
@@ -196,11 +214,17 @@ mod tests {
             region: Aabb::square(100.0),
             devices: devices
                 .into_iter()
-                .map(|(x, y, d)| IotDevice { pos: Point2::new(x, y), data: MegaBytes(d) })
+                .map(|(x, y, d)| IotDevice {
+                    pos: Point2::new(x, y),
+                    data: MegaBytes(d),
+                })
                 .collect(),
             depot: Point2::new(50.0, 50.0),
             radio: RadioModel::new(Meters(r0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(1e5), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(1e5),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -277,7 +301,11 @@ mod tests {
     #[test]
     fn disjoint_filter_produces_disjoint_sets() {
         let s = scenario_with(
-            vec![(30.0, 30.0, 900.0), (38.0, 30.0, 100.0), (80.0, 80.0, 400.0)],
+            vec![
+                (30.0, 30.0, 900.0),
+                (38.0, 30.0, 100.0),
+                (80.0, 80.0, 400.0),
+            ],
             12.0,
         );
         let cs = CandidateSet::build(&s, 4.0);

@@ -48,6 +48,7 @@ mod plan;
 mod polish;
 mod sweep;
 mod tourutil;
+pub mod validate;
 
 pub use alg1::{Alg1Config, Alg1Planner, CandidateFilter};
 pub use alg2::{Alg2Config, Alg2Planner, TourMode};
@@ -55,7 +56,9 @@ pub use alg3::{Alg3Config, Alg3Planner};
 pub use auxgraph::AuxGraph;
 pub use benchmark::BenchmarkPlanner;
 pub use candidates::{Candidate, CandidateSet};
-pub use multi::{FleetConfig, FleetPartition, FleetPlan, JointFleetPlanner, MultiUavPlanner, TeamAlg1Planner};
+pub use multi::{
+    FleetConfig, FleetPartition, FleetPlan, JointFleetPlanner, MultiUavPlanner, TeamAlg1Planner,
+};
 pub use plan::{CollectionPlan, HoverStop, PlanError};
 pub use polish::{polish_plan, Polished};
 pub use sweep::SweepPlanner;

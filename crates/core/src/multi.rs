@@ -11,7 +11,7 @@
 
 use crate::plan::CollectionPlan;
 use crate::Planner;
-use uavdc_geom::Point2;
+use uavdc_geom::{cmp_f64, Point2};
 use uavdc_net::units::{Joules, MegaBytes};
 use uavdc_net::{DeviceId, Scenario};
 
@@ -40,7 +40,10 @@ pub struct FleetConfig {
 impl FleetConfig {
     /// A fleet of `m` UAVs with the default (sector) partition.
     pub fn new(fleet_size: usize) -> Self {
-        FleetConfig { fleet_size, partition: FleetPartition::default() }
+        FleetConfig {
+            fleet_size,
+            partition: FleetPartition::default(),
+        }
     }
 }
 
@@ -55,7 +58,10 @@ pub struct FleetPlan {
 impl FleetPlan {
     /// Total volume collected by the whole fleet.
     pub fn collected_volume(&self) -> MegaBytes {
-        self.plans.iter().map(CollectionPlan::collected_volume).sum()
+        self.plans
+            .iter()
+            .map(CollectionPlan::collected_volume)
+            .sum()
     }
 
     /// Highest per-UAV energy demand (each UAV has its own battery).
@@ -71,7 +77,8 @@ impl FleetPlan {
     pub fn validate(&self, scenario: &Scenario) -> Result<(), String> {
         let mut claimed = vec![false; scenario.num_devices()];
         for (u, plan) in self.plans.iter().enumerate() {
-            plan.validate(scenario).map_err(|e| format!("UAV {u}: {e}"))?;
+            plan.validate(scenario)
+                .map_err(|e| format!("UAV {u}: {e}"))?;
             for stop in &plan.stops {
                 for &(dev, _) in &stop.collected {
                     if claimed[dev.index()] {
@@ -112,7 +119,9 @@ impl<P: Planner> MultiUavPlanner<P> {
         let m = self.config.fleet_size;
         assert!(m >= 1, "fleet needs at least one UAV");
         if scenario.num_devices() == 0 {
-            return FleetPlan { plans: vec![CollectionPlan::empty(); m] };
+            return FleetPlan {
+                plans: vec![CollectionPlan::empty(); m],
+            };
         }
         let groups = match self.config.partition {
             FleetPartition::Sectors => sector_partition(scenario, m),
@@ -138,7 +147,14 @@ impl<P: Planner> MultiUavPlanner<P> {
             }
             plans.push(plan);
         }
-        FleetPlan { plans }
+        let fleet = FleetPlan { plans };
+        crate::validate::debug_check_fleet(
+            "MultiUavPlanner::plan_fleet",
+            scenario,
+            &fleet,
+            crate::validate::Profile::P3Partial,
+        );
+        fleet
     }
 }
 
@@ -153,7 +169,7 @@ fn sector_partition(scenario: &Scenario, m: usize) -> Vec<Vec<usize>> {
         .enumerate()
         .map(|(i, d)| ((d.pos.y - depot.y).atan2(d.pos.x - depot.x), i))
         .collect();
-    by_angle.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    by_angle.sort_by(|a, b| cmp_f64(a.0, b.0).then(a.1.cmp(&b.1)));
     let total: f64 = scenario.devices.iter().map(|d| d.data.value()).sum();
     let target = total / m as f64;
     let mut groups = vec![Vec::new(); m];
@@ -187,20 +203,28 @@ fn kmeans_partition(scenario: &Scenario, m: usize) -> Vec<Vec<usize>> {
     let mut centers: Vec<Point2> = Vec::with_capacity(m);
     let first = (0..n)
         .min_by(|&a, &b| {
-            pts[a]
-                .distance_sq(scenario.depot)
-                .partial_cmp(&pts[b].distance_sq(scenario.depot))
-                .unwrap()
+            cmp_f64(
+                pts[a].distance_sq(scenario.depot),
+                pts[b].distance_sq(scenario.depot),
+            )
         })
+        // lint:allow(panic-site): n > 0 is checked at the top of this function
         .expect("non-empty");
     centers.push(pts[first]);
     while centers.len() < m {
         let far = (0..n)
             .max_by(|&a, &b| {
-                let da = centers.iter().map(|c| c.distance_sq(pts[a])).fold(f64::INFINITY, f64::min);
-                let db = centers.iter().map(|c| c.distance_sq(pts[b])).fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                let da = centers
+                    .iter()
+                    .map(|c| c.distance_sq(pts[a]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = centers
+                    .iter()
+                    .map(|c| c.distance_sq(pts[b]))
+                    .fold(f64::INFINITY, f64::min);
+                cmp_f64(da, db).then(a.cmp(&b))
             })
+            // lint:allow(panic-site): n > 0 is checked at the top of this function
             .expect("non-empty");
         centers.push(pts[far]);
     }
@@ -210,9 +234,8 @@ fn kmeans_partition(scenario: &Scenario, m: usize) -> Vec<Vec<usize>> {
         let mut changed = false;
         for (i, p) in pts.iter().enumerate() {
             let best = (0..m)
-                .min_by(|&a, &b| {
-                    centers[a].distance_sq(*p).partial_cmp(&centers[b].distance_sq(*p)).unwrap()
-                })
+                .min_by(|&a, &b| cmp_f64(centers[a].distance_sq(*p), centers[b].distance_sq(*p)))
+                // lint:allow(panic-site): FleetConfig guarantees m >= 1
                 .expect("m >= 1");
             if assignment[i] != best {
                 assignment[i] = best;
@@ -258,7 +281,11 @@ pub struct JointFleetPlanner {
 impl JointFleetPlanner {
     /// Creates a joint planner with default grid settings.
     pub fn new(fleet_size: usize) -> Self {
-        JointFleetPlanner { fleet_size, delta: 10.0, prune_dominated: true }
+        JointFleetPlanner {
+            fleet_size,
+            delta: 10.0,
+            prune_dominated: true,
+        }
     }
 
     /// Plans all tours jointly.
@@ -278,7 +305,9 @@ impl JointFleetPlanner {
             candidates.prune_dominated();
         }
         if candidates.is_empty() {
-            return FleetPlan { plans: vec![CollectionPlan::empty(); m] };
+            return FleetPlan {
+                plans: vec![CollectionPlan::empty(); m],
+            };
         }
         let capacity = scenario.uav.capacity.value();
         let eta_h = scenario.uav.hover_power.value();
@@ -297,6 +326,9 @@ impl JointFleetPlanner {
         loop {
             // Best (candidate, uav) by ρ.
             let mut best: Option<(usize, usize, usize, f64, f64)> = None; // (cand, uav, pos, tau, ratio)
+            // Indexing, not iterating: the body deactivates entries of
+            // `active` while scanning it.
+            #[allow(clippy::needless_range_loop)]
             for c in 0..candidates.len() {
                 if !active[c] {
                     continue;
@@ -325,8 +357,7 @@ impl JointFleetPlanner {
                     let better = match best {
                         None => true,
                         Some((bc, bu, _, _, br)) => {
-                            ratio > br + 1e-15
-                                || (ratio >= br - 1e-15 && (c, u) < (bc, bu))
+                            ratio > br + 1e-15 || (ratio >= br - 1e-15 && (c, u) < (bc, bu))
                         }
                     };
                     if better {
@@ -334,7 +365,9 @@ impl JointFleetPlanner {
                     }
                 }
             }
-            let Some((c, u, pos, tau, _)) = best else { break };
+            let Some((c, u, pos, tau, _)) = best else {
+                break;
+            };
             let cand = &candidates.candidates[c];
             let mut entries = Vec::new();
             for &v in &cand.covered {
@@ -343,7 +376,11 @@ impl JointFleetPlanner {
                     entries.push((DeviceId(v), scenario.devices[v as usize].data));
                 }
             }
-            stops[u].push(HoverStop { pos: cand.pos, sojourn: Seconds(tau), collected: entries });
+            stops[u].push(HoverStop {
+                pos: cand.pos,
+                sojourn: Seconds(tau),
+                collected: entries,
+            });
             let stop_idx = stops[u].len() - 1;
             tours[u].insert(pos, cand.pos);
             stop_of[u].insert(pos, stop_idx);
@@ -364,7 +401,14 @@ impl JointFleetPlanner {
                 plan
             })
             .collect();
-        FleetPlan { plans }
+        let fleet = FleetPlan { plans };
+        crate::validate::debug_check_fleet(
+            "JointFleetPlanner::plan_fleet",
+            scenario,
+            &fleet,
+            crate::validate::Profile::P1FullDisjoint,
+        );
+        fleet
     }
 }
 
@@ -386,7 +430,11 @@ pub struct TeamAlg1Planner {
 impl TeamAlg1Planner {
     /// Creates a planner with default grid settings.
     pub fn new(fleet_size: usize) -> Self {
-        TeamAlg1Planner { fleet_size, delta: 10.0, ils_rounds: 12 }
+        TeamAlg1Planner {
+            fleet_size,
+            delta: 10.0,
+            ils_rounds: 12,
+        }
     }
 
     /// Plans the fleet by team orienteering over disjoint candidates.
@@ -403,7 +451,9 @@ impl TeamAlg1Planner {
         assert!(self.fleet_size >= 1, "fleet needs at least one UAV");
         let candidates = CandidateSet::build(scenario, self.delta).disjoint_by_volume(scenario);
         if candidates.is_empty() {
-            return FleetPlan { plans: vec![CollectionPlan::empty(); self.fleet_size] };
+            return FleetPlan {
+                plans: vec![CollectionPlan::empty(); self.fleet_size],
+            };
         }
         let aux = AuxGraph::build(scenario, &candidates);
         let cfg = TeamConfig {
@@ -434,13 +484,24 @@ impl TeamAlg1Planner {
                                 (DeviceId(v), data)
                             })
                             .collect();
-                        HoverStop { pos: cand.pos, sojourn, collected }
+                        HoverStop {
+                            pos: cand.pos,
+                            sojourn,
+                            collected,
+                        }
                     })
                     .collect();
                 CollectionPlan { stops }
             })
             .collect();
-        FleetPlan { plans }
+        let fleet = FleetPlan { plans };
+        crate::validate::debug_check_fleet(
+            "TeamAlg1Planner::plan_fleet",
+            scenario,
+            &fleet,
+            crate::validate::Profile::P1FullDisjoint,
+        );
+        fleet
     }
 }
 
@@ -463,7 +524,10 @@ mod tests {
                 .collect(),
             depot: Point2::new(200.0, 200.0),
             radio: RadioModel::new(Meters(30.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_eval() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_eval()
+            },
         }
     }
 
@@ -471,7 +535,8 @@ mod tests {
     fn fleet_of_one_matches_single_planner() {
         let s = scenario(30_000.0, 25);
         let single = Alg2Planner::default().plan(&s);
-        let fleet = MultiUavPlanner::new(Alg2Planner::default(), FleetConfig::new(1)).plan_fleet(&s);
+        let fleet =
+            MultiUavPlanner::new(Alg2Planner::default(), FleetConfig::new(1)).plan_fleet(&s);
         fleet.validate(&s).unwrap();
         assert_eq!(fleet.plans.len(), 1);
         assert_eq!(fleet.collected_volume(), single.collected_volume());
@@ -512,7 +577,10 @@ mod tests {
             MultiUavPlanner::new(Alg2Planner::default(), FleetConfig::new(3)).plan_fleet(&s);
         one.validate(&s).unwrap();
         three.validate(&s).unwrap();
-        let (v1, v3) = (one.collected_volume().value(), three.collected_volume().value());
+        let (v1, v3) = (
+            one.collected_volume().value(),
+            three.collected_volume().value(),
+        );
         assert!(v1 > 0.0, "single UAV should reach the ring");
         assert!(v3 < s.total_data().value() + 1e-6);
         assert!(v3 > 1.5 * v1, "3 UAVs {v3} should far exceed 1 UAV {v1}");
@@ -523,7 +591,10 @@ mod tests {
         let s = scenario(40_000.0, 30);
         let fleet = MultiUavPlanner::new(
             BenchmarkPlanner,
-            FleetConfig { fleet_size: 2, partition: FleetPartition::KMeans },
+            FleetConfig {
+                fleet_size: 2,
+                partition: FleetPartition::KMeans,
+            },
         )
         .plan_fleet(&s);
         fleet.validate(&s).unwrap();
@@ -536,7 +607,10 @@ mod tests {
         let s = scenario(30_000.0, 3);
         let fleet = MultiUavPlanner::new(
             Alg2Planner::default(),
-            FleetConfig { fleet_size: 6, partition: FleetPartition::KMeans },
+            FleetConfig {
+                fleet_size: 6,
+                partition: FleetPartition::KMeans,
+            },
         )
         .plan_fleet(&s);
         fleet.validate(&s).unwrap();
@@ -549,7 +623,8 @@ mod tests {
     fn empty_scenario_gives_empty_fleet_plans() {
         let mut s = scenario(1000.0, 5);
         s.devices.clear();
-        let fleet = MultiUavPlanner::new(Alg2Planner::default(), FleetConfig::new(3)).plan_fleet(&s);
+        let fleet =
+            MultiUavPlanner::new(Alg2Planner::default(), FleetConfig::new(3)).plan_fleet(&s);
         assert_eq!(fleet.plans.len(), 3);
         assert_eq!(fleet.collected_volume(), MegaBytes::ZERO);
     }
@@ -584,7 +659,10 @@ mod tests {
         let fleet = TeamAlg1Planner::new(1).plan_fleet(&s);
         fleet.validate(&s).unwrap();
         let single = crate::Alg1Planner::default().plan(&s);
-        let (vf, vs) = (fleet.collected_volume().value(), single.collected_volume().value());
+        let (vf, vs) = (
+            fleet.collected_volume().value(),
+            single.collected_volume().value(),
+        );
         assert!(vf >= 0.7 * vs, "team-of-1 {vf} far below alg1 {vs}");
     }
 
@@ -605,7 +683,10 @@ mod tests {
         let alg2 = Alg2Planner::default().plan(&s);
         // Same greedy family; the joint planner skips interim 2-opt so
         // allow a modest gap in either direction.
-        let (vj, v2) = (joint.collected_volume().value(), alg2.collected_volume().value());
+        let (vj, v2) = (
+            joint.collected_volume().value(),
+            alg2.collected_volume().value(),
+        );
         assert!(vj >= 0.8 * v2, "joint {vj} far below alg2 {v2}");
     }
 
@@ -628,8 +709,7 @@ mod tests {
         let partitioned =
             MultiUavPlanner::new(Alg2Planner::default(), FleetConfig::new(3)).plan_fleet(&s);
         assert!(
-            joint.collected_volume().value()
-                >= 0.95 * partitioned.collected_volume().value(),
+            joint.collected_volume().value() >= 0.95 * partitioned.collected_volume().value(),
             "joint {} vs partitioned {}",
             joint.collected_volume(),
             partitioned.collected_volume()
@@ -644,7 +724,10 @@ mod tests {
             let fleet = JointFleetPlanner::new(m).plan_fleet(&s);
             fleet.validate(&s).unwrap();
             let v = fleet.collected_volume().value();
-            assert!(v >= prev - 1e-6, "fleet of {m} collected less: {v} < {prev}");
+            assert!(
+                v >= prev - 1e-6,
+                "fleet of {m} collected less: {v} < {prev}"
+            );
             prev = v;
         }
     }
@@ -668,7 +751,10 @@ mod tests {
             .collect();
         let total: f64 = volumes.iter().sum();
         for v in &volumes {
-            assert!(*v > 0.1 * total / 3.0, "sector badly unbalanced: {volumes:?}");
+            assert!(
+                *v > 0.1 * total / 3.0,
+                "sector badly unbalanced: {volumes:?}"
+            );
         }
     }
 }

@@ -80,14 +80,28 @@ impl std::fmt::Display for PlanError {
             PlanError::EnergyExceeded { required, capacity } => {
                 write!(f, "plan needs {required} but battery holds {capacity}")
             }
-            PlanError::OutOfCoverage { stop, device, distance } => {
+            PlanError::OutOfCoverage {
+                stop,
+                device,
+                distance,
+            } => {
                 write!(f, "stop {stop} collects from device {device:?} at {distance:.1} m, outside coverage")
             }
             PlanError::BandwidthExceeded { stop, device } => {
-                write!(f, "stop {stop} collects more from device {device:?} than bandwidth × sojourn")
+                write!(
+                    f,
+                    "stop {stop} collects more from device {device:?} than bandwidth × sojourn"
+                )
             }
-            PlanError::OverCollected { device, claimed, stored } => {
-                write!(f, "device {device:?} yields {claimed} total but stores only {stored}")
+            PlanError::OverCollected {
+                device,
+                claimed,
+                stored,
+            } => {
+                write!(
+                    f,
+                    "device {device:?} yields {claimed} total but stores only {stored}"
+                )
             }
             PlanError::Malformed(what) => write!(f, "malformed plan: {what}"),
         }
@@ -129,7 +143,10 @@ impl CollectionPlan {
 
     /// Energy spent hovering, over all stops.
     pub fn hover_energy(&self, scenario: &Scenario) -> Joules {
-        self.stops.iter().map(|s| scenario.uav.hover_energy(s.sojourn)).sum()
+        self.stops
+            .iter()
+            .map(|s| scenario.uav.hover_energy(s.sojourn))
+            .sum()
     }
 
     /// Total energy demand of the plan.
@@ -154,7 +171,9 @@ impl CollectionPlan {
         let mut per_device = vec![MegaBytes::ZERO; scenario.num_devices()];
         for (i, stop) in self.stops.iter().enumerate() {
             if !stop.pos.is_finite() {
-                return Err(PlanError::Malformed(format!("stop {i} position not finite")));
+                return Err(PlanError::Malformed(format!(
+                    "stop {i} position not finite"
+                )));
             }
             if !stop.sojourn.is_finite() || stop.sojourn.value() < 0.0 {
                 return Err(PlanError::Malformed(format!("stop {i} sojourn invalid")));
@@ -163,22 +182,35 @@ impl CollectionPlan {
             // A device may appear several times in one stop (e.g. a
             // sojourn later extended by the partial-collection planner);
             // the bandwidth constraint applies to its per-stop total.
-            let mut within_stop = std::collections::HashMap::new();
+            // BTreeMap, not HashMap: validation failure messages surface
+            // map contents, and a deterministic order keeps them stable.
+            let mut within_stop = std::collections::BTreeMap::new();
             for &(dev, amount) in &stop.collected {
                 if dev.index() >= scenario.num_devices() {
-                    return Err(PlanError::Malformed(format!("stop {i} references unknown device")));
+                    return Err(PlanError::Malformed(format!(
+                        "stop {i} references unknown device"
+                    )));
                 }
                 if !amount.is_finite() || amount.value() < 0.0 {
-                    return Err(PlanError::Malformed(format!("stop {i} collects invalid amount")));
+                    return Err(PlanError::Malformed(format!(
+                        "stop {i} collects invalid amount"
+                    )));
                 }
                 let d = scenario.devices[dev.index()].pos.distance(stop.pos);
                 if d > r0 + 1e-6 {
-                    return Err(PlanError::OutOfCoverage { stop: i, device: dev, distance: d });
+                    return Err(PlanError::OutOfCoverage {
+                        stop: i,
+                        device: dev,
+                        distance: d,
+                    });
                 }
                 let total = within_stop.entry(dev).or_insert(MegaBytes::ZERO);
                 *total += amount;
                 if total.value() > allowance.value() + 1e-6 {
-                    return Err(PlanError::BandwidthExceeded { stop: i, device: dev });
+                    return Err(PlanError::BandwidthExceeded {
+                        stop: i,
+                        device: dev,
+                    });
                 }
                 per_device[dev.index()] += amount;
             }
@@ -186,12 +218,19 @@ impl CollectionPlan {
         for (idx, &claimed) in per_device.iter().enumerate() {
             let stored = scenario.devices[idx].data;
             if claimed.value() > stored.value() + 1e-6 {
-                return Err(PlanError::OverCollected { device: DeviceId(idx as u32), claimed, stored });
+                return Err(PlanError::OverCollected {
+                    device: DeviceId(idx as u32),
+                    claimed,
+                    stored,
+                });
             }
         }
         let required = self.total_energy(scenario);
         if required.value() > scenario.uav.capacity.value() * (1.0 + 1e-6) + 1e-6 {
-            return Err(PlanError::EnergyExceeded { required, capacity: scenario.uav.capacity });
+            return Err(PlanError::EnergyExceeded {
+                required,
+                capacity: scenario.uav.capacity,
+            });
         }
         Ok(())
     }
@@ -208,8 +247,14 @@ mod tests {
         Scenario {
             region: Aabb::square(200.0),
             devices: vec![
-                IotDevice { pos: Point2::new(50.0, 50.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(150.0, 150.0), data: MegaBytes(600.0) },
+                IotDevice {
+                    pos: Point2::new(50.0, 50.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(150.0, 150.0),
+                    data: MegaBytes(600.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(M(50.0), MegaBytesPerSecond(150.0)),
@@ -294,7 +339,11 @@ mod tests {
         let mut p = good_plan();
         p.stops[0].collected = vec![(DeviceId(1), MegaBytes(10.0))]; // ~141 m away
         match p.validate(&s) {
-            Err(PlanError::OutOfCoverage { stop: 0, device: DeviceId(1), .. }) => {}
+            Err(PlanError::OutOfCoverage {
+                stop: 0,
+                device: DeviceId(1),
+                ..
+            }) => {}
             other => panic!("expected OutOfCoverage, got {other:?}"),
         }
     }
@@ -305,7 +354,10 @@ mod tests {
         let mut p = good_plan();
         p.stops[0].sojourn = Seconds(1.0); // allowance 150 MB < 300 MB claimed
         match p.validate(&s) {
-            Err(PlanError::BandwidthExceeded { stop: 0, device: DeviceId(0) }) => {}
+            Err(PlanError::BandwidthExceeded {
+                stop: 0,
+                device: DeviceId(0),
+            }) => {}
             other => panic!("expected BandwidthExceeded, got {other:?}"),
         }
     }
@@ -317,7 +369,10 @@ mod tests {
         // Collect device 0 twice (two stops at the same place).
         p.stops.push(p.stops[0].clone());
         match p.validate(&s) {
-            Err(PlanError::OverCollected { device: DeviceId(0), .. }) => {}
+            Err(PlanError::OverCollected {
+                device: DeviceId(0),
+                ..
+            }) => {}
             other => panic!("expected OverCollected, got {other:?}"),
         }
     }
@@ -359,7 +414,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = PlanError::EnergyExceeded { required: Joules(10.0), capacity: Joules(5.0) };
+        let e = PlanError::EnergyExceeded {
+            required: Joules(10.0),
+            capacity: Joules(5.0),
+        };
         assert!(e.to_string().contains("battery"));
         let o = PlanError::OverCollected {
             device: DeviceId(3),

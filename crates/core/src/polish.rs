@@ -41,6 +41,7 @@ pub fn polish_plan(plan: &mut CollectionPlan, scenario: &Scenario) -> Joules {
     let mut slots: Vec<Option<crate::plan::HoverStop>> = stops.into_iter().map(Some).collect();
     plan.stops = order
         .into_iter()
+        // lint:allow(panic-site): order is a permutation of stop indices by construction
         .map(|i| slots[i].take().expect("each stop appears once in the tour"))
         .collect();
     (before - plan.travel_energy(scenario)).clamp_non_negative()
@@ -175,7 +176,10 @@ mod tests {
                 .collect(),
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(10.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: uavdc_net::units::Joules(1.0e6), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: uavdc_net::units::Joules(1.0e6),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -207,9 +211,7 @@ mod tests {
         assert_eq!(plan.collected_volume(), volume, "collection untouched");
         plan.validate(&s).unwrap();
         // Energy bookkeeping consistent.
-        assert!(
-            ((before - plan.total_energy(&s)).value() - saved.value()).abs() < 1e-9
-        );
+        assert!(((before - plan.total_energy(&s)).value() - saved.value()).abs() < 1e-9);
     }
 
     #[test]
@@ -231,7 +233,9 @@ mod tests {
         let s = scenario();
         let mut plan = CollectionPlan::empty();
         assert_eq!(polish_plan(&mut plan, &s), Joules::ZERO);
-        let mut two = CollectionPlan { stops: zigzag_plan(&s).stops[..2].to_vec() };
+        let mut two = CollectionPlan {
+            stops: zigzag_plan(&s).stops[..2].to_vec(),
+        };
         assert_eq!(polish_plan(&mut two, &s), Joules::ZERO);
     }
 

@@ -123,7 +123,10 @@ mod tests {
                 .collect(),
             depot: Point2::new(150.0, 150.0),
             radio: RadioModel::new(Meters(40.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_eval() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_eval()
+            },
         }
     }
 
@@ -146,7 +149,8 @@ mod tests {
         for cap in [1000.0, 20_000.0, 80_000.0] {
             let s = scenario(cap, 40);
             let plan = SweepPlanner.plan(&s);
-            plan.validate(&s).unwrap_or_else(|e| panic!("cap {cap}: {e}"));
+            plan.validate(&s)
+                .unwrap_or_else(|e| panic!("cap {cap}: {e}"));
         }
     }
 
@@ -178,7 +182,11 @@ mod tests {
             .collect();
         let plan = SweepPlanner.plan(&s);
         plan.validate(&s).unwrap();
-        assert!(plan.stops.len() <= 3, "too many stops: {}", plan.stops.len());
+        assert!(
+            plan.stops.len() <= 3,
+            "too many stops: {}",
+            plan.stops.len()
+        );
         assert_eq!(plan.collected_volume(), MegaBytes(1000.0));
     }
 

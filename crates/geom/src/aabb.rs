@@ -34,7 +34,10 @@ impl Aabb {
     /// Returns `None` for an empty slice.
     pub fn from_points(pts: &[Point2]) -> Option<Self> {
         let first = *pts.first()?;
-        let mut b = Aabb { min: first, max: first };
+        let mut b = Aabb {
+            min: first,
+            max: first,
+        };
         for &p in &pts[1..] {
             b.expand_to(p);
         }

@@ -22,7 +22,10 @@ impl Disc {
     /// Panics on a negative or non-finite radius — those are programming
     /// errors, not recoverable states.
     pub fn new(center: Point2, r: f64) -> Self {
-        assert!(r.is_finite() && r >= 0.0, "disc radius must be finite and >= 0, got {r}");
+        assert!(
+            r.is_finite() && r >= 0.0,
+            "disc radius must be finite and >= 0, got {r}"
+        );
         Disc { center, r }
     }
 
@@ -76,8 +79,12 @@ pub fn disc_disc_overlap_area(a: &Disc, b: &Disc) -> f64 {
     let d2 = d * d;
     let r1 = a.r;
     let r2 = b.r;
-    let alpha = ((d2 + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
-    let beta = ((d2 + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
+    let alpha = ((d2 + r1 * r1 - r2 * r2) / (2.0 * d * r1))
+        .clamp(-1.0, 1.0)
+        .acos();
+    let beta = ((d2 + r2 * r2 - r1 * r1) / (2.0 * d * r2))
+        .clamp(-1.0, 1.0)
+        .acos();
     let tri = 0.5
         * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
             .max(0.0)

@@ -38,12 +38,26 @@ impl GridSpec {
     /// Panics when `delta`, `width` or `height` is non-positive or
     /// non-finite.
     pub fn new(origin: Point2, width: f64, height: f64, delta: f64) -> Self {
-        assert!(delta.is_finite() && delta > 0.0, "delta must be positive, got {delta}");
-        assert!(width.is_finite() && width > 0.0, "width must be positive, got {width}");
-        assert!(height.is_finite() && height > 0.0, "height must be positive, got {height}");
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta must be positive, got {delta}"
+        );
+        assert!(
+            width.is_finite() && width > 0.0,
+            "width must be positive, got {width}"
+        );
+        assert!(
+            height.is_finite() && height > 0.0,
+            "height must be positive, got {height}"
+        );
         let nx = (width / delta).ceil() as u32;
         let ny = (height / delta).ceil() as u32;
-        GridSpec { origin, delta, nx: nx.max(1), ny: ny.max(1) }
+        GridSpec {
+            origin,
+            delta,
+            nx: nx.max(1),
+            ny: ny.max(1),
+        }
     }
 
     /// Builds the partition of a bounding region.
@@ -80,7 +94,12 @@ impl GridSpec {
     /// # Panics
     /// Panics when the indices are out of range.
     pub fn cell_at(&self, ix: u32, iy: u32) -> CellId {
-        assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of {}x{} grid", self.nx, self.ny);
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of {}x{} grid",
+            self.nx,
+            self.ny
+        );
         CellId { ix, iy }
     }
 
@@ -94,7 +113,10 @@ impl GridSpec {
     #[inline]
     pub fn cell_from_linear(&self, idx: usize) -> CellId {
         debug_assert!(idx < self.num_cells());
-        CellId { ix: (idx % self.nx as usize) as u32, iy: (idx / self.nx as usize) as u32 }
+        CellId {
+            ix: (idx % self.nx as usize) as u32,
+            iy: (idx / self.nx as usize) as u32,
+        }
     }
 
     /// Centre of a cell — a potential hovering location (projected).
@@ -131,8 +153,12 @@ impl GridSpec {
     pub fn cells_with_center_within(&self, p: Point2, radius: f64) -> Vec<CellId> {
         let mut out = Vec::new();
         // Conservative index window around p.
-        let lo_x = ((p.x - radius - self.origin.x) / self.delta - 1.0).floor().max(0.0) as u32;
-        let lo_y = ((p.y - radius - self.origin.y) / self.delta - 1.0).floor().max(0.0) as u32;
+        let lo_x = ((p.x - radius - self.origin.x) / self.delta - 1.0)
+            .floor()
+            .max(0.0) as u32;
+        let lo_y = ((p.y - radius - self.origin.y) / self.delta - 1.0)
+            .floor()
+            .max(0.0) as u32;
         let hi_x = (((p.x + radius - self.origin.x) / self.delta).ceil() as i64)
             .clamp(0, self.nx as i64 - 1) as u32;
         let hi_y = (((p.y + radius - self.origin.y) / self.delta).ceil() as i64)
@@ -212,7 +238,10 @@ mod tests {
     fn containing_cell_clamps_outside_points() {
         let g = grid_100x100_d10();
         assert_eq!(g.cell_containing(Point2::new(-5.0, -5.0)), g.cell_at(0, 0));
-        assert_eq!(g.cell_containing(Point2::new(500.0, 500.0)), g.cell_at(9, 9));
+        assert_eq!(
+            g.cell_containing(Point2::new(500.0, 500.0)),
+            g.cell_at(9, 9)
+        );
     }
 
     #[test]

@@ -21,11 +21,7 @@ pub fn convex_hull(points: &[Point2]) -> Vec<usize> {
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        points[a]
-            .x
-            .partial_cmp(&points[b].x)
-            .unwrap()
-            .then(points[a].y.partial_cmp(&points[b].y).unwrap())
+        crate::cmp_f64(points[a].x, points[b].x).then(crate::cmp_f64(points[a].y, points[b].y))
     });
     let cross = |o: usize, a: usize, b: usize| -> f64 {
         let (po, pa, pb) = (points[o], points[a], points[b]);
@@ -42,7 +38,8 @@ pub fn convex_hull(points: &[Point2]) -> Vec<usize> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &i in order.iter().rev().skip(1) {
-        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 1e-12
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 1e-12
         {
             hull.pop();
         }
@@ -85,7 +82,13 @@ mod tests {
 
     #[test]
     fn square_with_interior_point() {
-        let pts = [p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(5.0, 5.0)];
+        let pts = [
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+            p(5.0, 5.0),
+        ];
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 4);
         assert!(!hull.contains(&4), "interior point on hull");

@@ -68,8 +68,10 @@ impl KdTree {
         // Max-heap of (dist_sq, tree position) capped at k.
         let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
         self.k_nearest_rec(0, self.pts.len(), 0, q, k, &mut heap);
-        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        heap.into_iter().map(|(_, pos)| self.idx[pos] as usize).collect()
+        heap.sort_by(|a, b| crate::cmp_f64(a.0, b.0));
+        heap.into_iter()
+            .map(|(_, pos)| self.idx[pos] as usize)
+            .collect()
     }
 
     /// Original indices of every point within (closed) `radius` of `q`.
@@ -93,7 +95,11 @@ impl KdTree {
             *best = (mid, d2);
         }
         let diff = if axis == 0 { q.x - p.x } else { q.y - p.y };
-        let (near, far) = if diff < 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) = if diff < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
         self.nearest_rec(near.0, near.1, axis ^ 1, q, best);
         if diff * diff < best.1 {
             self.nearest_rec(far.0, far.1, axis ^ 1, q, best);
@@ -117,15 +123,23 @@ impl KdTree {
         let d2 = p.distance_sq(q);
         if heap.len() < k {
             heap.push((d2, mid));
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // worst first
+            heap.sort_by(|a, b| crate::cmp_f64_desc(a.0, b.0)); // worst first
         } else if d2 < heap[0].0 {
             heap[0] = (d2, mid);
-            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            heap.sort_by(|a, b| crate::cmp_f64_desc(a.0, b.0));
         }
         let diff = if axis == 0 { q.x - p.x } else { q.y - p.y };
-        let (near, far) = if diff < 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) = if diff < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
         self.k_nearest_rec(near.0, near.1, axis ^ 1, q, k, heap);
-        let worst = if heap.len() < k { f64::INFINITY } else { heap[0].0 };
+        let worst = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap[0].0
+        };
         if diff * diff < worst {
             self.k_nearest_rec(far.0, far.1, axis ^ 1, q, k, heap);
         }
@@ -149,7 +163,11 @@ impl KdTree {
             out.push(self.idx[mid] as usize);
         }
         let diff = if axis == 0 { q.x - p.x } else { q.y - p.y };
-        let (near, far) = if diff < 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) = if diff < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
         self.radius_rec(near.0, near.1, axis ^ 1, q, r2, out);
         if diff * diff <= r2 {
             self.radius_rec(far.0, far.1, axis ^ 1, q, r2, out);
@@ -169,12 +187,11 @@ fn build_rec(pts: &mut [Point2], idx: &mut [u32], axis: usize) {
     if n <= 1 {
         return;
     }
-    let mut paired: Vec<(Point2, u32)> =
-        pts.iter().copied().zip(idx.iter().copied()).collect();
+    let mut paired: Vec<(Point2, u32)> = pts.iter().copied().zip(idx.iter().copied()).collect();
     paired.sort_by(|a, b| {
         let ka = if axis == 0 { a.0.x } else { a.0.y };
         let kb = if axis == 0 { b.0.x } else { b.0.y };
-        ka.partial_cmp(&kb).expect("coordinates are finite").then(a.1.cmp(&b.1))
+        crate::cmp_f64(ka, kb).then(a.1.cmp(&b.1))
     });
     for (k, (p, i)) in paired.into_iter().enumerate() {
         pts[k] = p;
@@ -296,7 +313,7 @@ mod tests {
                 prop_assert!(w[0] <= w[1] + 1e-12);
             }
             let mut all: Vec<f64> = points.iter().map(|p| p.distance_sq(q)).collect();
-            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            all.sort_by(|a, b| crate::cmp_f64(*a, *b));
             for (a, b) in got_d.iter().zip(all.iter()) {
                 prop_assert!((a - b).abs() < 1e-9, "kNN distance mismatch");
             }

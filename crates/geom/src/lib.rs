@@ -35,6 +35,7 @@ mod disc;
 mod grid;
 mod hull;
 mod kdtree;
+mod order;
 mod point;
 mod polyline;
 mod spatial;
@@ -44,6 +45,7 @@ pub use disc::{disc_disc_overlap_area, Disc};
 pub use grid::{CellId, GridSpec};
 pub use hull::{convex_hull, polygon_area};
 pub use kdtree::KdTree;
+pub use order::{cmp_f64, cmp_f64_desc, TotalF64};
 pub use point::{Point2, Point3};
 pub use polyline::{distance_matrix, path_length, tour_length};
 pub use spatial::SpatialGrid;

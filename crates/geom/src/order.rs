@@ -1,0 +1,113 @@
+//! NaN-safe total ordering for `f64`.
+//!
+//! The planners' invariants (energy feasibility, metric closure of the
+//! auxiliary graph, data conservation) are maintained through dozens of
+//! float sorts and argmin/argmax scans. A single NaN reaching a
+//! `partial_cmp().unwrap()` comparator panics mid-tour; worse, a NaN
+//! reaching a *non*-panicking comparator silently produces an
+//! inconsistent order and corrupts the invariant it feeds. This module
+//! is the one approved way to order floats in the workspace: the
+//! `uavdc-lint` rule `float-ord` flags every comparator outside it.
+//!
+//! All helpers use [`f64::total_cmp`] (IEEE 754 `totalOrder`): NaN
+//! sorts after `+inf` ascending (before `-inf` descending), so a NaN
+//! produced by an upstream bug lands at the *pessimal* end of every
+//! ordering — it is never selected as a best candidate and never
+//! truncates a sort — instead of panicking or scrambling the order.
+
+use std::cmp::Ordering;
+
+/// Total-order comparison, ascending. Drop-in replacement for
+/// `a.partial_cmp(&b).unwrap()` in `sort_by`/`min_by`/`max_by`.
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Total-order comparison, descending ("largest first"), with NaN
+/// pinned to the *end* of the order. A plain argument swap
+/// (`b.total_cmp(&a)`) would rank NaN above `+inf` and hand it first
+/// place in every best-candidate scan; instead NaN stays pessimal in
+/// both directions.
+#[inline]
+pub fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// An `f64` wrapper that is `Ord`/`Eq` under the IEEE 754 total order,
+/// for use as a sort key (`sort_by_key`), in `BinaryHeap`s, or inside
+/// `Ord`-requiring containers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl TotalF64 {
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_and_descending_agree_on_finite_values() {
+        let mut v = vec![3.0, -1.0, 2.5, 0.0];
+        v.sort_by(|a, b| cmp_f64(*a, *b));
+        assert_eq!(v, vec![-1.0, 0.0, 2.5, 3.0]);
+        v.sort_by(|a, b| cmp_f64_desc(*a, *b));
+        assert_eq!(v, vec![3.0, 2.5, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn nan_sorts_to_the_pessimal_end_without_panicking() {
+        let mut v = [1.0, f64::NAN, -2.0, f64::INFINITY];
+        v.sort_by(|a, b| cmp_f64(*a, *b));
+        assert_eq!(v[0], -2.0);
+        assert!(v[3].is_nan(), "ascending: NaN lands last");
+        v.sort_by(|a, b| cmp_f64_desc(*a, *b));
+        assert!(v[3].is_nan(), "descending: NaN lands last");
+        assert_eq!(v[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn total_f64_is_a_lawful_ord_key() {
+        let mut v = [TotalF64(2.0), TotalF64(f64::NAN), TotalF64(-1.0)];
+        v.sort();
+        assert_eq!(v[0].get(), -1.0);
+        assert_eq!(v[1].get(), 2.0);
+        assert!(v[2].get().is_nan());
+        let min = v.iter().min().expect("non-empty");
+        assert_eq!(min.get(), -1.0);
+    }
+}

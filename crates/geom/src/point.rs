@@ -58,7 +58,10 @@ impl Point2 {
     /// Linear interpolation: returns `self` at `t = 0`, `other` at `t = 1`.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Midpoint of the segment from `self` to `other`.

@@ -34,7 +34,10 @@ impl SpatialGrid {
     /// Panics when `cell` is non-positive/non-finite or any point is not
     /// finite.
     pub fn build(points: &[Point2], cell: f64) -> Self {
-        assert!(cell.is_finite() && cell > 0.0, "bucket size must be positive, got {cell}");
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "bucket size must be positive, got {cell}"
+        );
         for (i, p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point {i} is not finite: {p:?}");
         }
@@ -67,7 +70,15 @@ impl SpatialGrid {
             cursor[b] += 1;
         }
 
-        SpatialGrid { points: points.to_vec(), origin, cell, nx, ny, starts, entries }
+        SpatialGrid {
+            points: points.to_vec(),
+            origin,
+            cell,
+            nx,
+            ny,
+            starts,
+            entries,
+        }
     }
 
     /// Number of indexed points.
@@ -103,10 +114,14 @@ impl SpatialGrid {
             return;
         }
         let r2 = radius * radius;
-        let lo_x = (((q.x - radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
-        let hi_x = (((q.x + radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
-        let lo_y = (((q.y - radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
-        let hi_y = (((q.y + radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
+        let lo_x =
+            (((q.x - radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
+        let hi_x =
+            (((q.x + radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
+        let lo_y =
+            (((q.y - radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
+        let hi_y =
+            (((q.y + radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
         for by in lo_y..=hi_y {
             for bx in lo_x..=hi_x {
                 let b = (by * self.nx + bx) as usize;
@@ -127,10 +142,14 @@ impl SpatialGrid {
             return 0;
         }
         let r2 = radius * radius;
-        let lo_x = (((q.x - radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
-        let hi_x = (((q.x + radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
-        let lo_y = (((q.y - radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
-        let hi_y = (((q.y + radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
+        let lo_x =
+            (((q.x - radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
+        let hi_x =
+            (((q.x + radius - self.origin.x) / self.cell).floor() as i64).clamp(0, self.nx - 1);
+        let lo_y =
+            (((q.y - radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
+        let hi_y =
+            (((q.y + radius - self.origin.y) / self.cell).floor() as i64).clamp(0, self.ny - 1);
         let mut n = 0;
         for by in lo_y..=hi_y {
             for bx in lo_x..=hi_x {
@@ -241,7 +260,12 @@ mod tests {
             }
         }
         let g = SpatialGrid::build(&pts, 15.0);
-        for &(qx, qy, r) in &[(70.0, 70.0, 20.0), (0.0, 0.0, 50.0), (133.0, 1.0, 7.0), (60.0, 60.0, 0.0)] {
+        for &(qx, qy, r) in &[
+            (70.0, 70.0, 20.0),
+            (0.0, 0.0, 50.0),
+            (133.0, 1.0, 7.0),
+            (60.0, 60.0, 0.0),
+        ] {
             let q = Point2::new(qx, qy);
             let mut got = g.query_radius(q, r);
             let mut want = brute_radius(&pts, q, r);
@@ -253,8 +277,9 @@ mod tests {
 
     #[test]
     fn count_matches_query_len() {
-        let pts: Vec<Point2> =
-            (0..100).map(|i| Point2::new((i * 37 % 100) as f64, (i * 61 % 100) as f64)).collect();
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new((i * 37 % 100) as f64, (i * 61 % 100) as f64))
+            .collect();
         let g = SpatialGrid::build(&pts, 10.0);
         for r in [0.0, 5.0, 25.0, 200.0] {
             let q = Point2::new(50.0, 50.0);

@@ -45,7 +45,7 @@ pub fn one_tree_bound_at(m: &DistMatrix, root: usize) -> f64 {
 pub fn one_tree_bound(m: &DistMatrix) -> f64 {
     let n = m.len();
     if n < 3 {
-        return one_tree_bound_at(m, 0.min(n.saturating_sub(1)));
+        return one_tree_bound_at(m, 0);
     }
     (0..n).map(|r| one_tree_bound_at(m, r)).fold(0.0, f64::max)
 }

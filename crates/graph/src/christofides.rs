@@ -25,14 +25,20 @@ pub struct ChristofidesConfig {
 
 impl Default for ChristofidesConfig {
     fn default() -> Self {
-        ChristofidesConfig { matching: MatchingBackend::Auto, polish: true }
+        ChristofidesConfig {
+            matching: MatchingBackend::Auto,
+            polish: true,
+        }
     }
 }
 
 impl ChristofidesConfig {
     /// Greedy matching, no polish: the fast approximate mode.
     pub fn fast() -> Self {
-        ChristofidesConfig { matching: MatchingBackend::Greedy, polish: false }
+        ChristofidesConfig {
+            matching: MatchingBackend::Greedy,
+            polish: false,
+        }
     }
 }
 
@@ -72,6 +78,7 @@ pub fn christofides_with(m: &DistMatrix, cfg: &ChristofidesConfig) -> Tour {
     // 3. Eulerian circuit of MST ∪ matching (all degrees now even, and the
     // union is connected because the MST spans).
     let circuit =
+        // lint:allow(panic-site): Euler circuit existence is a theorem here — MST spans and the matching evens all degrees
         euler_circuit(n, &edges, 0).expect("MST ∪ matching is connected with even degrees");
     // 4. Shortcut repeated vertices.
     let order = shortcut_circuit(&circuit);
@@ -108,8 +115,9 @@ mod tests {
 
     #[test]
     fn visits_every_vertex_once() {
-        let pts: Vec<(f64, f64)> =
-            (0..25).map(|i| ((i * 37 % 100) as f64, (i * 61 % 100) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..25)
+            .map(|i| ((i * 37 % 100) as f64, (i * 61 % 100) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let t = christofides(&m);
         let mut order = t.order().to_vec();
@@ -119,10 +127,21 @@ mod tests {
 
     #[test]
     fn within_guarantee_vs_exact_small() {
-        let pts = [(0.0, 0.0), (7.0, 1.0), (3.0, 8.0), (9.0, 9.0), (1.0, 5.0), (6.0, 4.0), (2.0, 2.0)];
+        let pts = [
+            (0.0, 0.0),
+            (7.0, 1.0),
+            (3.0, 8.0),
+            (9.0, 9.0),
+            (1.0, 5.0),
+            (6.0, 4.0),
+            (2.0, 2.0),
+        ];
         let m = DistMatrix::from_euclidean(&pts);
         let opt = held_karp(&m).expect("small instance");
-        let cfg = ChristofidesConfig { matching: MatchingBackend::Auto, polish: false };
+        let cfg = ChristofidesConfig {
+            matching: MatchingBackend::Auto,
+            polish: false,
+        };
         let t = christofides_with(&m, &cfg);
         assert!(
             t.length(&m) <= 1.5 * opt.length(&m) + 1e-9,
@@ -134,19 +153,26 @@ mod tests {
 
     #[test]
     fn polish_never_hurts() {
-        let pts: Vec<(f64, f64)> =
-            (0..18).map(|i| ((i * 53 % 97) as f64, (i * 71 % 89) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..18)
+            .map(|i| ((i * 53 % 97) as f64, (i * 71 % 89) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
-        let raw =
-            christofides_with(&m, &ChristofidesConfig { matching: MatchingBackend::Auto, polish: false });
+        let raw = christofides_with(
+            &m,
+            &ChristofidesConfig {
+                matching: MatchingBackend::Auto,
+                polish: false,
+            },
+        );
         let polished = christofides(&m);
         assert!(polished.length(&m) <= raw.length(&m) + 1e-9);
     }
 
     #[test]
     fn fast_mode_still_valid_tour() {
-        let pts: Vec<(f64, f64)> =
-            (0..30).map(|i| ((i * 41 % 100) as f64, (i * 67 % 100) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| ((i * 41 % 100) as f64, (i * 67 % 100) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let t = christofides_with(&m, &ChristofidesConfig::fast());
         assert_eq!(t.len(), 30);

@@ -92,7 +92,10 @@ pub fn cheapest_insertion_from(m: &DistMatrix, seed: &[usize]) -> Tour {
     if n == 0 {
         return Tour::new(Vec::new());
     }
-    assert!(!seed.is_empty(), "seed tour must contain at least one vertex");
+    assert!(
+        !seed.is_empty(),
+        "seed tour must contain at least one vertex"
+    );
     let mut tour = Tour::new(seed.to_vec());
     let mut in_tour = vec![false; n];
     for &v in seed {
@@ -207,8 +210,9 @@ mod tests {
 
     #[test]
     fn cheapest_insertion_visits_all() {
-        let pts: Vec<(f64, f64)> =
-            (0..15).map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..15)
+            .map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let t = cheapest_insertion(&m, 3);
         let mut order = t.order().to_vec();
@@ -232,8 +236,10 @@ mod tests {
         order.sort_unstable();
         assert_eq!(order, (0..6).collect::<Vec<_>>());
         // Seed vertices keep their cyclic order (insertions never reorder).
-        let pos: Vec<usize> =
-            [0, 1, 2, 3].iter().map(|s| t.order().iter().position(|v| v == s).unwrap()).collect();
+        let pos: Vec<usize> = [0, 1, 2, 3]
+            .iter()
+            .map(|s| t.order().iter().position(|v| v == s).unwrap())
+            .collect();
         let rotations = pos.windows(2).filter(|w| w[1] < w[0]).count();
         assert!(rotations <= 1, "seed order broken: {pos:?}");
     }

@@ -94,8 +94,10 @@ mod tests {
         // Multiset of traversed edges equals the input multiset.
         let mut want: Vec<(usize, usize)> =
             edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
-        let mut got: Vec<(usize, usize)> =
-            c.windows(2).map(|w| (w[0].min(w[1]), w[0].max(w[1]))).collect();
+        let mut got: Vec<(usize, usize)> = c
+            .windows(2)
+            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+            .collect();
         want.sort_unstable();
         got.sort_unstable();
         assert_eq!(want, got);

@@ -212,8 +212,9 @@ mod tests {
 
     #[test]
     fn improvements_preserve_permutation() {
-        let pts: Vec<(f64, f64)> =
-            (0..12).map(|i| ((i * 29 % 40) as f64, (i * 17 % 40) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| ((i * 29 % 40) as f64, (i * 17 % 40) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let mut t = Tour::new((0..12).collect());
         two_opt(&mut t, &m);

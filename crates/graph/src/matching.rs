@@ -76,9 +76,15 @@ pub fn min_weight_perfect_matching(m: &DistMatrix) -> Matching {
 /// Panics when the vertex count is odd.
 pub fn min_weight_perfect_matching_with(m: &DistMatrix, backend: MatchingBackend) -> Matching {
     let n = m.len();
-    assert!(n.is_multiple_of(2), "perfect matching needs an even vertex count, got {n}");
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching needs an even vertex count, got {n}"
+    );
     if n == 0 {
-        return Matching { mates: Vec::new(), weight: 0.0 };
+        return Matching {
+            mates: Vec::new(),
+            weight: 0.0,
+        };
     }
     let mut result = match backend {
         MatchingBackend::Auto => {
@@ -148,7 +154,10 @@ fn exact_dp(m: &DistMatrix) -> Matching {
         mask &= !(1 << i);
         mask &= !(1 << j);
     }
-    Matching { weight: dp[full], mates }
+    Matching {
+        weight: dp[full],
+        mates,
+    }
 }
 
 /// Greedy matching (cheapest edges first) followed by repeated 2-exchange
@@ -161,7 +170,7 @@ fn greedy_improved(m: &DistMatrix) -> Matching {
             pairs.push((i, j));
         }
     }
-    pairs.sort_by(|a, b| m.get(a.0, a.1).partial_cmp(&m.get(b.0, b.1)).unwrap());
+    pairs.sort_by(|a, b| uavdc_geom::cmp_f64(m.get(a.0, a.1), m.get(b.0, b.1)));
     let mut mates = vec![usize::MAX; n];
     for (i, j) in pairs {
         if mates[i] == usize::MAX && mates[j] == usize::MAX {
@@ -175,8 +184,12 @@ fn greedy_improved(m: &DistMatrix) -> Matching {
     while improved && rounds < 64 {
         improved = false;
         rounds += 1;
-        let edges: Vec<(usize, usize)> =
-            mates.iter().enumerate().filter(|&(v, &p)| v < p).map(|(v, &p)| (v, p)).collect();
+        let edges: Vec<(usize, usize)> = mates
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| v < p)
+            .map(|(v, &p)| (v, p))
+            .collect();
         for x in 0..edges.len() {
             for y in (x + 1)..edges.len() {
                 let (a, b) = edges[x];
@@ -204,7 +217,10 @@ fn greedy_improved(m: &DistMatrix) -> Matching {
             }
         }
     }
-    Matching { weight: matching_weight(m, &mates), mates }
+    Matching {
+        weight: matching_weight(m, &mates),
+        mates,
+    }
 }
 
 #[cfg(test)]
@@ -234,8 +250,11 @@ mod tests {
     #[test]
     fn two_vertices_match_each_other() {
         let m = euclid(&[(0.0, 0.0), (3.0, 4.0)]);
-        for backend in [MatchingBackend::ExactDp, MatchingBackend::Blossom, MatchingBackend::Greedy]
-        {
+        for backend in [
+            MatchingBackend::ExactDp,
+            MatchingBackend::Blossom,
+            MatchingBackend::Greedy,
+        ] {
             let r = min_weight_perfect_matching_with(&m, backend);
             assert_eq!(r.mates, vec![1, 0], "{backend:?}");
             assert_eq!(r.weight, 5.0, "{backend:?}");
@@ -246,8 +265,11 @@ mod tests {
     fn four_on_a_line_pairs_neighbors() {
         // 0-1 and 2-3 (cost 2) beats 0-2/1-3 (cost 4) and 0-3/1-2 (cost 4).
         let m = euclid(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (11.0, 0.0)]);
-        for backend in [MatchingBackend::ExactDp, MatchingBackend::Blossom, MatchingBackend::Greedy]
-        {
+        for backend in [
+            MatchingBackend::ExactDp,
+            MatchingBackend::Blossom,
+            MatchingBackend::Greedy,
+        ] {
             let r = min_weight_perfect_matching_with(&m, backend);
             assert!(r.is_perfect());
             assert_eq!(r.weight, 2.0, "{backend:?}");
@@ -280,8 +302,9 @@ mod tests {
 
     #[test]
     fn blossom_matches_dp_on_fixed_grid() {
-        let pts: Vec<(f64, f64)> =
-            (0..12).map(|i| ((i * 29 % 17) as f64, (i * 43 % 19) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| ((i * 29 % 17) as f64, (i * 43 % 19) as f64))
+            .collect();
         let m = euclid(&pts);
         let dp = min_weight_perfect_matching_with(&m, MatchingBackend::ExactDp);
         let bl = min_weight_perfect_matching_with(&m, MatchingBackend::Blossom);
@@ -298,8 +321,9 @@ mod tests {
     fn blossom_handles_larger_instance() {
         // 60 vertices: too big for DP; check perfectness and that blossom
         // is no worse than greedy.
-        let pts: Vec<(f64, f64)> =
-            (0..60).map(|i| ((i * 37 % 100) as f64, (i * 61 % 100) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..60)
+            .map(|i| ((i * 37 % 100) as f64, (i * 61 % 100) as f64))
+            .collect();
         let m = euclid(&pts);
         let bl = min_weight_perfect_matching_with(&m, MatchingBackend::Blossom);
         let gr = min_weight_perfect_matching_with(&m, MatchingBackend::Greedy);

@@ -32,11 +32,18 @@ pub fn min_weight_perfect_matching_blossom(m: &DistMatrix) -> Matching {
     let n = m.len();
     assert!(n.is_multiple_of(2));
     if n == 0 {
-        return Matching { mates: Vec::new(), weight: 0.0 };
+        return Matching {
+            mates: Vec::new(),
+            weight: 0.0,
+        };
     }
     // Scale distances to integers: up to ~2^30 of resolution.
     let dmax = m.max_weight();
-    let scale = if dmax > 0.0 { (1u64 << 30) as f64 / dmax } else { 1.0 };
+    let scale = if dmax > 0.0 {
+        (1u64 << 30) as f64 / dmax
+    } else {
+        1.0
+    };
     let to_int = |d: f64| -> i64 { (d * scale).round() as i64 };
     let c = to_int(dmax) + 1;
     let mut solver = Solver::new(n);
@@ -52,7 +59,10 @@ pub fn min_weight_perfect_matching_blossom(m: &DistMatrix) -> Matching {
     let mates1 = solver.solve();
     let mut mates = vec![usize::MAX; n];
     for u in 1..=n {
-        assert!(mates1[u] != 0, "blossom failed to produce a perfect matching");
+        assert!(
+            mates1[u] != 0,
+            "blossom failed to produce a perfect matching"
+        );
         mates[u - 1] = mates1[u] - 1;
     }
     let weight = mates
@@ -183,7 +193,11 @@ impl Solver {
     /// cycle re-oriented so the position is even (so the alternating path
     /// inside the blossom pairs up correctly).
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self.flower[b].iter().position(|&f| f == xr).expect("xr must be in flower");
+        let pr = self.flower[b]
+            .iter()
+            .position(|&f| f == xr)
+            // lint:allow(panic-site): blossom structure invariant — callers pass a sub-blossom of b
+            .expect("xr must be in flower");
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
             self.flower[b].len() - pr

@@ -15,7 +15,10 @@ pub struct DistMatrix {
 impl DistMatrix {
     /// Creates an `n x n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        DistMatrix { n, data: vec![0.0; n * n] }
+        DistMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for `i < j` and mirroring.
@@ -97,7 +100,10 @@ impl DistMatrix {
     /// Panics on negative/non-finite weights or diagonal writes of
     /// non-zero values.
     pub fn set(&mut self, i: usize, j: usize, w: f64) {
-        assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0, got {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weight must be finite and >= 0, got {w}"
+        );
         if i == j {
             assert_eq!(w, 0.0, "diagonal must stay zero");
             return;

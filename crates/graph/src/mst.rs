@@ -19,7 +19,10 @@ pub struct SpanningTree {
 pub fn prim_mst(m: &DistMatrix) -> SpanningTree {
     let n = m.len();
     if n <= 1 {
-        return SpanningTree { edges: Vec::new(), weight: 0.0 };
+        return SpanningTree {
+            edges: Vec::new(),
+            weight: 0.0,
+        };
     }
     let mut in_tree = vec![false; n];
     let mut best_cost = vec![f64::INFINITY; n];
@@ -41,7 +44,11 @@ pub fn prim_mst(m: &DistMatrix) -> SpanningTree {
                 u = v;
             }
         }
-        debug_assert_ne!(u, usize::MAX, "graph is complete; a fringe vertex must exist");
+        debug_assert_ne!(
+            u,
+            usize::MAX,
+            "graph is complete; a fringe vertex must exist"
+        );
         in_tree[u] = true;
         edges.push((best_edge[u], u));
         weight += uc;
@@ -108,8 +115,9 @@ mod tests {
 
     #[test]
     fn mst_is_spanning_and_acyclic() {
-        let pts: Vec<(f64, f64)> =
-            (0..30).map(|i| ((i * 37 % 100) as f64, (i * 59 % 100) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| ((i * 37 % 100) as f64, (i * 59 % 100) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let t = prim_mst(&m);
         assert_eq!(t.edges.len(), 29);
@@ -155,7 +163,7 @@ mod tests {
                 es.push((i, j));
             }
         }
-        es.sort_by(|a, b| m.get(a.0, a.1).partial_cmp(&m.get(b.0, b.1)).unwrap());
+        es.sort_by(|a, b| uavdc_geom::cmp_f64(m.get(a.0, a.1), m.get(b.0, b.1)));
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(p: &mut Vec<usize>, x: usize) -> usize {
             if p[x] != x {

@@ -1,0 +1,925 @@
+//! `uavdc-lint` — dependency-free static analysis for the uavdc workspace.
+//!
+//! The planners' correctness rests on numeric invariants from the paper
+//! (energy feasibility, metric closure of the auxiliary orienteering
+//! graph, data conservation across virtual hovering locations). Those
+//! invariants are easy to violate silently with three recurring Rust
+//! hazards, which this tool machine-checks on every `.rs` file in the
+//! workspace:
+//!
+//! * [`Rule::FloatOrd`] — `partial_cmp` comparators (NaN-unsafe; panic
+//!   or scramble orderings) and `==`/`!=` against float literals.
+//!   The one approved home for float ordering is
+//!   `uavdc_geom::{cmp_f64, cmp_f64_desc, TotalF64}`.
+//! * [`Rule::PanicSite`] — `unwrap()/expect()/panic!/unreachable!/...`
+//!   in library code, which can abort a planner mid-tour. Allowed in
+//!   tests, benches, examples, and binaries.
+//! * [`Rule::Nondeterminism`] — `thread_rng`/`from_entropy` (unseeded
+//!   randomness) and `HashMap`/`HashSet` (iteration order can leak into
+//!   planner output) in library code.
+//!
+//! Findings are reported as `path:line: rule: message`, one per line.
+//! A finding is suppressed with a pragma comment on the same line or
+//! the line directly above:
+//!
+//! ```text
+//! // lint:allow(panic-site): index is in range by construction of `order`
+//! ```
+//!
+//! The reason after the colon is mandatory, and pragmas that suppress
+//! nothing are themselves reported ([`Rule::UnusedAllow`]), so stale
+//! suppressions cannot accumulate.
+//!
+//! Exit codes of the CLI: `0` clean, `1` findings, `2` I/O or usage
+//! error.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The violation classes checked by this tool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// NaN-unsafe float ordering: `partial_cmp` outside the approved
+    /// helper module, or `==`/`!=` against a float literal.
+    FloatOrd,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// in library code.
+    PanicSite,
+    /// Unseeded randomness or hash-order-dependent containers in
+    /// library code.
+    Nondeterminism,
+    /// A `lint:allow` pragma that suppressed nothing.
+    UnusedAllow,
+    /// A `lint:allow` pragma without a rule name or without a reason.
+    MalformedAllow,
+}
+
+impl Rule {
+    /// Stable machine-readable rule name, as used inside `lint:allow(..)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FloatOrd => "float-ord",
+            Rule::PanicSite => "panic-site",
+            Rule::Nondeterminism => "nondeterminism",
+            Rule::UnusedAllow => "unused-allow",
+            Rule::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parse a rule name as written in a pragma.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "float-ord" => Some(Rule::FloatOrd),
+            "panic-site" => Some(Rule::PanicSite),
+            "nondeterminism" => Some(Rule::Nondeterminism),
+            "unused-allow" => Some(Rule::UnusedAllow),
+            "malformed-allow" => Some(Rule::MalformedAllow),
+            _ => None,
+        }
+    }
+
+    /// All rules that scan source directly (pragma meta-rules excluded).
+    pub fn all_source_rules() -> [Rule; 3] {
+        [Rule::FloatOrd, Rule::PanicSite, Rule::Nondeterminism]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a file's contents are classified, which decides rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: every rule applies.
+    Library,
+    /// Tests, benches, examples, binaries: panic and nondeterminism
+    /// rules are relaxed; float ordering still applies.
+    TestLike,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(path: &Path) -> FileKind {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let test_like = ["/tests/", "/benches/", "/examples/", "/bin/"];
+    if test_like.iter().any(|m| p.contains(m))
+        || p.starts_with("tests/")
+        || p.starts_with("benches/")
+        || p.starts_with("examples/")
+        || p.ends_with("/main.rs")
+        || p.ends_with("build.rs")
+    {
+        FileKind::TestLike
+    } else {
+        FileKind::Library
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation with the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Machine-readable single-line JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path.to_string_lossy()),
+            self.line,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A source line split into its code part and its comment part.
+#[derive(Debug, Default, Clone)]
+struct SplitLine {
+    code: String,
+    comment: String,
+}
+
+/// Strip strings and split comments from code, line by line. Handles
+/// line comments, nested block comments, string literals (with escapes),
+/// raw strings (`r"…"`, `r#"…"#`), char literals, and lifetimes well
+/// enough for token-level linting. String/char contents are blanked
+/// from the code channel so their bytes never match a rule.
+fn split_source(source: &str) -> Vec<SplitLine> {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut out: Vec<SplitLine> = Vec::new();
+    let mut cur = SplitLine::default();
+    let mut state = State::Normal;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                }
+                'r' if next == Some('"')
+                    || (next == Some('#') && raw_str_hashes(&bytes, i + 1).is_some()) =>
+                {
+                    let hashes = if next == Some('"') {
+                        0
+                    } else {
+                        raw_str_hashes(&bytes, i + 1).unwrap_or(0)
+                    };
+                    cur.code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes as usize;
+                }
+                '\'' => {
+                    // Distinguish char literal from lifetime: a lifetime
+                    // is `'ident` not followed by a closing quote.
+                    if is_char_literal(&bytes, i) {
+                        cur.code.push('\'');
+                        state = State::Char;
+                    } else {
+                        cur.code.push('\'');
+                    }
+                    i += 1;
+                }
+                c => {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Keep line numbers aligned across escaped-newline
+                    // string continuations.
+                    if next == Some('\n') {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    i += 2;
+                }
+                '"' => {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_str(&bytes, i, hashes) {
+                    cur.code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => match c {
+                '\\' => i += 2,
+                '\'' => {
+                    cur.code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn raw_str_hashes(bytes: &[char], from: usize) -> Option<u32> {
+    let mut n = 0;
+    let mut i = from;
+    while bytes.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    if n > 0 && bytes.get(i) == Some(&'"') {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+fn closes_raw_str(bytes: &[char], quote_at: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(quote_at + k) == Some(&'#'))
+}
+
+fn is_char_literal(bytes: &[char], quote_at: usize) -> bool {
+    // 'x' or '\x' / '\u{..}': look for a closing quote within a short
+    // window; lifetimes ('a, 'static) have none.
+    let mut i = quote_at + 1;
+    if bytes.get(i) == Some(&'\\') {
+        return true;
+    }
+    let mut steps = 0;
+    while let Some(&c) = bytes.get(i) {
+        if c == '\'' {
+            return steps == 1;
+        }
+        if c == '\n' || steps > 1 {
+            return false;
+        }
+        i += 1;
+        steps += 1;
+    }
+    false
+}
+
+/// A parsed `lint:allow(rule): reason` pragma.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rule: Option<Rule>,
+    has_reason: bool,
+    used: bool,
+    raw: String,
+}
+
+fn parse_allows(lines: &[SplitLine]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        // Only a comment that *is* a pragma counts; prose that merely
+        // mentions `lint:allow` (docs, this file) is ignored.
+        let comment = l.comment.trim();
+        if !comment.starts_with("lint:allow") {
+            continue;
+        }
+        let pos = 0;
+        let rest = &comment[pos + "lint:allow".len()..];
+        let mut rule = None;
+        let mut has_reason = false;
+        if let Some(open) = rest.find('(') {
+            if let Some(close) = rest.find(')') {
+                if close > open {
+                    rule = Rule::from_name(rest[open + 1..close].trim());
+                    if let Some(colon) = rest[close..].find(':') {
+                        has_reason = !rest[close + colon + 1..].trim().is_empty();
+                    }
+                }
+            }
+        }
+        allows.push(Allow {
+            line: idx + 1,
+            rule,
+            has_reason,
+            used: false,
+            raw: comment[pos..].trim().to_string(),
+        });
+    }
+    allows
+}
+
+/// Check whether `finding_line` (1-based) is suppressed for `rule`,
+/// marking the pragma used. A pragma acts on its own line and the line
+/// directly below it.
+fn is_allowed(allows: &mut [Allow], rule: Rule, finding_line: usize) -> bool {
+    for a in allows.iter_mut() {
+        if a.rule == Some(rule)
+            && a.has_reason
+            && (a.line == finding_line || a.line + 1 == finding_line)
+        {
+            a.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Token-level scan state shared by the rules: tracks brace depth and
+/// `#[cfg(test)]` regions so in-file unit-test modules are exempt from
+/// the library-only rules.
+struct Regions {
+    depth: i64,
+    pending_cfg_test: bool,
+    /// While `Some(d)`, code at depth > d belongs to a test region.
+    test_above: Option<i64>,
+}
+
+impl Regions {
+    fn new() -> Self {
+        Regions {
+            depth: 0,
+            pending_cfg_test: false,
+            test_above: None,
+        }
+    }
+
+    /// Advance over one code line; returns whether the *start* of this
+    /// line is inside a `#[cfg(test)]` region.
+    fn advance(&mut self, code: &str) -> bool {
+        let in_test_at_start = self.test_above.is_some_and(|d| self.depth > d);
+        if code.contains("#[cfg(test)]") && self.test_above.is_none() {
+            self.pending_cfg_test = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if self.pending_cfg_test && self.test_above.is_none() {
+                        self.test_above = Some(self.depth);
+                        self.pending_cfg_test = false;
+                    }
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if let Some(d) = self.test_above {
+                        if self.depth <= d {
+                            self.test_above = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        in_test_at_start || self.test_above.is_some_and(|d| self.depth > d)
+    }
+}
+
+/// Does this code line compare against a float literal with `==`/`!=`?
+/// Returns the offending literal when found.
+fn float_eq_literal(code: &str) -> Option<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i + 1 < n {
+        let (a, b) = (chars[i], chars[i + 1]);
+        let is_eq = (a == '=' || a == '!') && b == '=';
+        // Skip `<=`, `>=`, `==` as part of `===`-like runs (not Rust),
+        // and `=>`/`->`.
+        let prev = if i > 0 { chars[i - 1] } else { ' ' };
+        if is_eq && prev != '<' && prev != '>' && prev != '=' && chars.get(i + 2) != Some(&'=') {
+            let left = token_before(&chars, i);
+            let right = token_after(&chars, i + 2);
+            for tok in [left, right].into_iter().flatten() {
+                if is_float_literal(&tok) {
+                    return Some(tok);
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn token_before(chars: &[char], mut i: usize) -> Option<String> {
+    while i > 0 && chars[i - 1] == ' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0
+        && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '.' || chars[i - 1] == '_')
+    {
+        i -= 1;
+    }
+    if i == end {
+        None
+    } else {
+        Some(chars[i..end].iter().collect())
+    }
+}
+
+fn token_after(chars: &[char], mut i: usize) -> Option<String> {
+    while i < chars.len() && chars[i] == ' ' {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'-') {
+        i += 1;
+    }
+    let start = i;
+    while i < chars.len()
+        && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
+    {
+        i += 1;
+    }
+    if i == start {
+        None
+    } else {
+        Some(chars[start..i].iter().collect())
+    }
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    if t.is_empty() {
+        return false;
+    }
+    let mut saw_digit = false;
+    let mut saw_dot = false;
+    for c in t.chars() {
+        match c {
+            '0'..='9' => saw_digit = true,
+            '.' => {
+                if saw_dot {
+                    return false; // method chain like `a.b.c`
+                }
+                saw_dot = true;
+            }
+            '_' => {}
+            'e' | 'E' => {} // exponent
+            _ => return false,
+        }
+    }
+    saw_digit && (saw_dot || tok.ends_with("f64") || tok.ends_with("f32"))
+}
+
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+const NONDET_TOKENS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "HashMap",
+    "HashSet",
+    "RandomState",
+];
+
+/// Paths (workspace-relative, `/`-separated) where `float-ord` does not
+/// apply: the approved total-order helper itself.
+const FLOAT_ORD_EXEMPT: [&str; 1] = ["crates/geom/src/order.rs"];
+
+/// Scan one file's contents. `display_path` is used for reports and for
+/// the `float-ord` exemption; `kind` decides which rules apply.
+pub fn scan_source(display_path: &Path, source: &str, kind: FileKind) -> Vec<Finding> {
+    let lines = split_source(source);
+    let mut allows = parse_allows(&lines);
+    let mut findings = Vec::new();
+    let norm = display_path.to_string_lossy().replace('\\', "/");
+    let float_ord_exempt = FLOAT_ORD_EXEMPT.iter().any(|p| norm.ends_with(p));
+    let mut regions = Regions::new();
+
+    for (idx, l) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = regions.advance(&l.code);
+        let code = l.code.as_str();
+
+        // float-ord: applies to all code, test or not.
+        if !float_ord_exempt {
+            if code.contains("partial_cmp") && !is_allowed(&mut allows, Rule::FloatOrd, lineno) {
+                findings.push(Finding {
+                    path: display_path.to_path_buf(),
+                    line: lineno,
+                    rule: Rule::FloatOrd,
+                    message: "`partial_cmp` is NaN-unsafe; use uavdc_geom::cmp_f64 / cmp_f64_desc / TotalF64".into(),
+                });
+            }
+            if let Some(lit) = float_eq_literal(code) {
+                if !is_allowed(&mut allows, Rule::FloatOrd, lineno) {
+                    findings.push(Finding {
+                        path: display_path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::FloatOrd,
+                        message: format!(
+                            "exact float comparison against `{lit}`; compare with a tolerance (uavdc_geom::approx_eq) or justify with lint:allow"
+                        ),
+                    });
+                }
+            }
+        }
+
+        let library_code = kind == FileKind::Library && !in_test;
+
+        if library_code {
+            for tok in PANIC_TOKENS {
+                if code.contains(tok) && !is_allowed(&mut allows, Rule::PanicSite, lineno) {
+                    findings.push(Finding {
+                        path: display_path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::PanicSite,
+                        message: format!(
+                            "`{}` in library code can abort a planner mid-tour; return a typed error or justify with lint:allow",
+                            tok.trim_start_matches('.')
+                        ),
+                    });
+                    break; // one panic finding per line is enough
+                }
+            }
+            for tok in NONDET_TOKENS {
+                if code.contains(tok) && !is_allowed(&mut allows, Rule::Nondeterminism, lineno) {
+                    findings.push(Finding {
+                        path: display_path.to_path_buf(),
+                        line: lineno,
+                        rule: Rule::Nondeterminism,
+                        message: format!(
+                            "`{tok}` is a nondeterminism hazard (unseeded RNG or hash-order iteration); use seeded RNGs / BTree containers or justify with lint:allow"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Meta-rules: malformed or unused pragmas.
+    for a in &allows {
+        if a.rule.is_none() || !a.has_reason {
+            findings.push(Finding {
+                path: display_path.to_path_buf(),
+                line: a.line,
+                rule: Rule::MalformedAllow,
+                message: format!(
+                    "pragma `{}` must be `lint:allow(<rule>): <reason>` with a known rule and a non-empty reason",
+                    a.raw
+                ),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                path: display_path.to_path_buf(),
+                line: a.line,
+                rule: Rule::UnusedAllow,
+                message: format!("pragma `{}` suppresses nothing; remove it", a.raw),
+            });
+        }
+    }
+
+    findings.sort_by_key(|x| x.line);
+    findings
+}
+
+/// Recursively collect workspace `.rs` files under `root`, skipping
+/// build output and VCS metadata.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target"
+                    || name == ".git"
+                    || name == "results"
+                    || name == "results_quick"
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scan every `.rs` file under `root` (classification by path) and
+/// return all findings, sorted by path then line.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in collect_rs_files(root)? {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(scan_source(&rel, &source, classify(&rel)));
+    }
+    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}
+
+/// CLI entry point. Returns the process exit code.
+///
+/// Usage: `uavdc-lint [--json] [--list-rules] [paths…]`. With no paths,
+/// scans the workspace this crate is part of. Explicit paths are
+/// scanned with `Library` strictness regardless of location, so
+/// fixture files under `tests/` still produce findings.
+pub fn run_cli() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for r in Rule::all_source_rules() {
+                    println!("{r}");
+                }
+                println!("{}", Rule::UnusedAllow);
+                println!("{}", Rule::MalformedAllow);
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("usage: uavdc-lint [--json] [--list-rules] [paths...]");
+                println!("exit codes: 0 clean, 1 findings, 2 error");
+                return 0;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                return 2;
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    let findings = if paths.is_empty() {
+        let root = workspace_root();
+        match scan_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("uavdc-lint: scanning {}: {e}", root.display());
+                return 2;
+            }
+        }
+    } else {
+        let mut all = Vec::new();
+        for p in &paths {
+            let targets = if p.is_dir() {
+                match collect_rs_files(p) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("uavdc-lint: reading {}: {e}", p.display());
+                        return 2;
+                    }
+                }
+            } else {
+                vec![p.clone()]
+            };
+            for t in targets {
+                match std::fs::read_to_string(&t) {
+                    Ok(src) => all.extend(scan_source(&t, &src, FileKind::Library)),
+                    Err(e) => {
+                        eprintln!("uavdc-lint: reading {}: {e}", t.display());
+                        return 2;
+                    }
+                }
+            }
+        }
+        all
+    };
+
+    for f in &findings {
+        if json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("uavdc-lint: clean");
+        0
+    } else {
+        eprintln!("uavdc-lint: {} finding(s)", findings.len());
+        1
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest directory at
+/// compile time (`crates/lint` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_lib(src: &str) -> Vec<Finding> {
+        scan_source(Path::new("crates/demo/src/lib.rs"), src, FileKind::Library)
+    }
+
+    #[test]
+    fn flags_float_ord_hazards() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    if v[0] == 0.5 {}\n}\n";
+        let f = scan_lib(src);
+        assert!(f.iter().any(|x| x.rule == Rule::FloatOrd && x.line == 2));
+        assert!(f.iter().any(|x| x.rule == Rule::FloatOrd && x.line == 3));
+        // line 2 also has .unwrap() => panic-site
+        assert!(f.iter().any(|x| x.rule == Rule::PanicSite && x.line == 2));
+    }
+
+    #[test]
+    fn float_eq_detects_literals_not_ints_or_methods() {
+        assert!(float_eq_literal("x == 0.0").is_some());
+        assert!(float_eq_literal("0.5f64 != y").is_some());
+        assert!(float_eq_literal("x == 1e-9").is_none()); // no dot, suffix-less: ambiguous, skipped
+        assert!(float_eq_literal("n == 3").is_none());
+        assert!(float_eq_literal("a.b == c.d").is_none());
+        assert!(float_eq_literal("x <= 0.5").is_none());
+        assert!(float_eq_literal("x >= 0.5").is_none());
+    }
+
+    #[test]
+    fn panic_rule_skips_tests_benches_and_cfg_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(
+            scan_lib(src).iter().all(|x| x.rule != Rule::PanicSite),
+            "cfg(test) module must be exempt"
+        );
+        let f = scan_source(
+            Path::new("crates/demo/tests/t.rs"),
+            "fn g() { None::<u8>.unwrap(); }\n",
+            classify(Path::new("crates/demo/tests/t.rs")),
+        );
+        assert!(f.is_empty(), "integration tests are exempt: {f:?}");
+    }
+
+    #[test]
+    fn nondeterminism_rule_flags_hash_containers_and_unseeded_rngs() {
+        let src = "use std::collections::HashMap;\nfn f() { let _ = rand::thread_rng(); }\n";
+        let f = scan_lib(src);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == Rule::Nondeterminism).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_and_requires_reason() {
+        let ok = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic-site): checked non-empty above\n    x.unwrap()\n}\n";
+        assert!(scan_lib(ok).is_empty(), "{:?}", scan_lib(ok));
+
+        let no_reason =
+            "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic-site)\n    x.unwrap()\n}\n";
+        let f = scan_lib(no_reason);
+        assert!(f.iter().any(|x| x.rule == Rule::MalformedAllow));
+        assert!(
+            f.iter().any(|x| x.rule == Rule::PanicSite),
+            "malformed pragma must not suppress"
+        );
+
+        let unused = "// lint:allow(panic-site): nothing here\nfn f() {}\n";
+        let f = scan_lib(unused);
+        assert!(f.iter().any(|x| x.rule == Rule::UnusedAllow));
+    }
+
+    #[test]
+    fn comments_and_strings_never_match() {
+        let src = "// a.partial_cmp(b).unwrap() in a comment\nfn f() -> &'static str { \"partial_cmp .unwrap() HashMap\" }\n/* block .expect( */\n";
+        assert!(scan_lib(src).is_empty(), "{:?}", scan_lib(src));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_confuse_the_lexer() {
+        let src = "fn f<'a>(s: &'a str) -> char {\n    let c = '\"';\n    let _x: &'static str = s;\n    c\n}\nfn g() { None::<u8>.unwrap(); }\n";
+        let f = scan_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::PanicSite);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify(Path::new("crates/core/src/alg1.rs")),
+            FileKind::Library
+        );
+        assert_eq!(
+            classify(Path::new("crates/core/tests/x.rs")),
+            FileKind::TestLike
+        );
+        assert_eq!(
+            classify(Path::new("crates/bench/benches/fig3.rs")),
+            FileKind::TestLike
+        );
+        assert_eq!(
+            classify(Path::new("examples/smart_city.rs")),
+            FileKind::TestLike
+        );
+        assert_eq!(classify(Path::new("src/bin/uavdc.rs")), FileKind::TestLike);
+        assert_eq!(classify(Path::new("src/lib.rs")), FileKind::Library);
+        assert_eq!(
+            classify(Path::new("tests/energy_feasibility.rs")),
+            FileKind::TestLike
+        );
+    }
+}

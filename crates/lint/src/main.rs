@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(uavdc_lint::run_cli());
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `uavdc-lint` CLI over fixture files: one
+//! fixture per violation class must drive a non-zero exit, the clean
+//! fixture and the workspace itself must exit 0.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Run the built CLI binary on explicit paths; returns (exit, stdout).
+fn run_lint(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_uavdc-lint"))
+        .args(args)
+        .output()
+        .expect("spawn uavdc-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn expect_rule(name: &str, rule: &str) -> String {
+    let path = fixture(name);
+    let (code, stdout) = run_lint(&[path.to_str().unwrap()]);
+    assert_eq!(code, 1, "{name} must exit 1, got {code}; stdout:\n{stdout}");
+    assert!(
+        stdout.contains(&format!(": {rule}:")),
+        "{name} must report rule `{rule}`; stdout:\n{stdout}"
+    );
+    stdout
+}
+
+#[test]
+fn float_ord_fixture_fails() {
+    let out = expect_rule("float_ord.rs_fixture", "float-ord");
+    assert!(
+        out.contains("partial_cmp"),
+        "flags the NaN-unsafe comparator:\n{out}"
+    );
+    assert!(
+        out.contains("0.5"),
+        "flags the exact float comparison:\n{out}"
+    );
+}
+
+#[test]
+fn panic_site_fixture_fails() {
+    let out = expect_rule("panic_site.rs_fixture", "panic-site");
+    // One finding per panicking construct: unwrap, expect, panic!.
+    assert_eq!(out.matches(": panic-site:").count(), 3, "stdout:\n{out}");
+}
+
+#[test]
+fn nondeterminism_fixture_fails() {
+    let out = expect_rule("nondeterminism.rs_fixture", "nondeterminism");
+    assert!(out.contains("HashMap"), "stdout:\n{out}");
+}
+
+#[test]
+fn pragma_meta_rules_fire() {
+    let out = expect_rule("bad_pragma.rs_fixture", "malformed-allow");
+    assert!(
+        out.contains("unused-allow"),
+        "reason-less and unused pragmas both flagged:\n{out}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let path = fixture("clean.rs_fixture");
+    let (code, stdout) = run_lint(&[path.to_str().unwrap()]);
+    assert_eq!(code, 0, "clean fixture must exit 0; stdout:\n{stdout}");
+    assert!(stdout.is_empty());
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let path = fixture("nondeterminism.rs_fixture");
+    let (code, stdout) = run_lint(&["--json", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSON object per line: {line}"
+        );
+        assert!(line.contains("\"rule\":\"nondeterminism\""), "line: {line}");
+    }
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    let findings =
+        uavdc_lint::scan_workspace(&uavdc_lint::workspace_root()).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -108,7 +108,11 @@ impl ScenarioParams {
 }
 
 fn radio_for(params: &ScenarioParams) -> RadioModel {
-    RadioModel::with_ground_radius(params.coverage_radius, params.uav.altitude, params.bandwidth)
+    RadioModel::with_ground_radius(
+        params.coverage_radius,
+        params.uav.altitude,
+        params.bandwidth,
+    )
 }
 
 /// The paper's default setting with the given instance seed: 500 nodes
@@ -147,12 +151,7 @@ pub fn uniform(params: &ScenarioParams, seed: u64) -> Scenario {
 /// uniformly placed centres with Gaussian spread `sigma` (rejection-
 /// sampled into the region). Models the paper's smart-city motivation
 /// where sensors cluster around facilities.
-pub fn clustered(
-    params: &ScenarioParams,
-    num_clusters: usize,
-    sigma: f64,
-    seed: u64,
-) -> Scenario {
+pub fn clustered(params: &ScenarioParams, num_clusters: usize, sigma: f64, seed: u64) -> Scenario {
     assert!(num_clusters > 0, "need at least one cluster");
     assert!(sigma > 0.0, "sigma must be positive");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -242,9 +241,20 @@ pub fn grid_deployment(params: &ScenarioParams, jitter: f64, seed: u64) -> Scena
                 break 'outer;
             }
             let base = Point2::new((col as f64 + 0.5) * pitch, (row as f64 + 0.5) * pitch);
-            let dx = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
-            let dy = if jitter > 0.0 { rng.gen_range(-jitter..=jitter) } else { 0.0 };
-            let p = Point2::new((base.x + dx).clamp(0.0, side), (base.y + dy).clamp(0.0, side));
+            let dx = if jitter > 0.0 {
+                rng.gen_range(-jitter..=jitter)
+            } else {
+                0.0
+            };
+            let dy = if jitter > 0.0 {
+                rng.gen_range(-jitter..=jitter)
+            } else {
+                0.0
+            };
+            let p = Point2::new(
+                (base.x + dx).clamp(0.0, side),
+                (base.y + dy).clamp(0.0, side),
+            );
             devices.push(IotDevice {
                 pos: p,
                 data: MegaBytes(params.volume_distribution.sample(
@@ -269,6 +279,15 @@ pub fn grid_deployment(params: &ScenarioParams, jitter: f64, seed: u64) -> Scena
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Empirical quantile `q` in `[0, 1]` of `values` (NaN-safe sort).
+    fn quantile(values: &[f64], q: f64) -> f64 {
+        assert!(!values.is_empty(), "quantile of empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| uavdc_geom::cmp_f64(*a, *b));
+        let k = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[k.min(sorted.len() - 1)]
+    }
 
     #[test]
     fn paper_default_matches_section_vii() {
@@ -313,7 +332,10 @@ mod tests {
 
     #[test]
     fn clustered_stays_in_region_and_clusters() {
-        let p = ScenarioParams { num_devices: 200, ..ScenarioParams::default() };
+        let p = ScenarioParams {
+            num_devices: 200,
+            ..ScenarioParams::default()
+        };
         let s = clustered(&p, 5, 40.0, 11);
         assert_eq!(s.num_devices(), 200);
         assert_eq!(s.validate(), Ok(()));
@@ -332,12 +354,18 @@ mod tests {
             total += best;
         }
         let mean_nn = total / (pts.len() as f64);
-        assert!(mean_nn < 25.0, "clustered instance not clustered (mean nn {mean_nn})");
+        assert!(
+            mean_nn < 25.0,
+            "clustered instance not clustered (mean nn {mean_nn})"
+        );
     }
 
     #[test]
     fn two_tier_produces_sparser_heavier_aggregates() {
-        let p = ScenarioParams { num_devices: 0, ..ScenarioParams::default() };
+        let p = ScenarioParams {
+            num_devices: 0,
+            ..ScenarioParams::default()
+        };
         let s = two_tier(&p, 400, Meters(60.0), 5);
         assert!(s.num_devices() > 0);
         assert!(s.num_devices() < 400, "aggregation must reduce node count");
@@ -367,9 +395,7 @@ mod tests {
             assert!((100.0..=1000.0).contains(&v), "volume {v} out of bounds");
         }
         // Exponential skews low: the median sits well below the uniform's 550.
-        let mut sorted = volumes.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = sorted[sorted.len() / 2];
+        let median = quantile(&volumes, 0.5);
         assert!(median < 350.0, "exponential median {median} not skewed low");
     }
 
@@ -386,15 +412,22 @@ mod tests {
             assert!((100.0..=1000.0).contains(&v));
         }
         let maxed = volumes.iter().filter(|&&v| v >= 999.0).count();
-        assert!(maxed >= 5, "heavy tail should clamp some devices at the cap ({maxed})");
-        let mut sorted = volumes;
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(sorted[sorted.len() / 2] < 300.0, "bulk should sit near data_min");
+        assert!(
+            maxed >= 5,
+            "heavy tail should clamp some devices at the cap ({maxed})"
+        );
+        assert!(
+            quantile(&volumes, 0.5) < 300.0,
+            "bulk should sit near data_min"
+        );
     }
 
     #[test]
     fn grid_deployment_is_regular() {
-        let p = ScenarioParams { num_devices: 100, ..ScenarioParams::default() };
+        let p = ScenarioParams {
+            num_devices: 100,
+            ..ScenarioParams::default()
+        };
         let s = grid_deployment(&p, 0.0, 1);
         assert_eq!(s.num_devices(), 100);
         assert_eq!(s.validate(), Ok(()));
@@ -409,12 +442,18 @@ mod tests {
                 }
             }
         }
-        assert!((min_nn - pitch).abs() < 1e-9, "pitch {pitch} vs nn {min_nn}");
+        assert!(
+            (min_nn - pitch).abs() < 1e-9,
+            "pitch {pitch} vs nn {min_nn}"
+        );
     }
 
     #[test]
     fn grid_deployment_jitter_stays_in_region() {
-        let p = ScenarioParams { num_devices: 64, ..ScenarioParams::default() };
+        let p = ScenarioParams {
+            num_devices: 64,
+            ..ScenarioParams::default()
+        };
         let s = grid_deployment(&p, 80.0, 5);
         assert_eq!(s.validate(), Ok(()));
         let a = grid_deployment(&p, 80.0, 5);

@@ -59,7 +59,11 @@ pub fn scenario_to_string(s: &Scenario) -> String {
         s.region.min.x, s.region.min.y, s.region.max.x, s.region.max.y
     ));
     out.push_str(&format!("depot {} {}\n", s.depot.x, s.depot.y));
-    out.push_str(&format!("radio {} {}\n", s.radio.range.value(), s.radio.bandwidth.value()));
+    out.push_str(&format!(
+        "radio {} {}\n",
+        s.radio.range.value(),
+        s.radio.bandwidth.value()
+    ));
     let override_str = match s.uav.travel_energy_override {
         Some(d) => format!("{}", d.value()),
         None => "-".to_string(),
@@ -74,17 +78,27 @@ pub fn scenario_to_string(s: &Scenario) -> String {
         override_str,
     ));
     for d in &s.devices {
-        out.push_str(&format!("device {} {} {}\n", d.pos.x, d.pos.y, d.data.value()));
+        out.push_str(&format!(
+            "device {} {} {}\n",
+            d.pos.x,
+            d.pos.y,
+            d.data.value()
+        ));
     }
     out
 }
 
 /// Parses the v1 text format and validates the result.
 pub fn scenario_from_str(text: &str) -> Result<Scenario, ScenarioIoError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let err = |n: usize, what: &str| ScenarioIoError::Parse(format!("line {}: {what}", n + 1));
 
-    let (n0, header) = lines.next().ok_or_else(|| ScenarioIoError::Parse("empty file".into()))?;
+    let (n0, header) = lines
+        .next()
+        .ok_or_else(|| ScenarioIoError::Parse("empty file".into()))?;
     if header.trim() != "uavdc-scenario v1" {
         return Err(err(n0, "expected header 'uavdc-scenario v1'"));
     }
@@ -98,13 +112,21 @@ pub fn scenario_from_str(text: &str) -> Result<Scenario, ScenarioIoError> {
         vals.filter(|v| v.len() == want)
     }
 
-    let (n1, region_line) = lines.next().ok_or_else(|| ScenarioIoError::Parse("missing region".into()))?;
+    let (n1, region_line) = lines
+        .next()
+        .ok_or_else(|| ScenarioIoError::Parse("missing region".into()))?;
     let r = floats(region_line, "region", 4).ok_or_else(|| err(n1, "bad region line"))?;
-    let (n2, depot_line) = lines.next().ok_or_else(|| ScenarioIoError::Parse("missing depot".into()))?;
+    let (n2, depot_line) = lines
+        .next()
+        .ok_or_else(|| ScenarioIoError::Parse("missing depot".into()))?;
     let d = floats(depot_line, "depot", 2).ok_or_else(|| err(n2, "bad depot line"))?;
-    let (n3, radio_line) = lines.next().ok_or_else(|| ScenarioIoError::Parse("missing radio".into()))?;
+    let (n3, radio_line) = lines
+        .next()
+        .ok_or_else(|| ScenarioIoError::Parse("missing radio".into()))?;
     let ra = floats(radio_line, "radio", 2).ok_or_else(|| err(n3, "bad radio line"))?;
-    let (n4, uav_line) = lines.next().ok_or_else(|| ScenarioIoError::Parse("missing uav".into()))?;
+    let (n4, uav_line) = lines
+        .next()
+        .ok_or_else(|| ScenarioIoError::Parse("missing uav".into()))?;
     // The override slot may be '-' so parse by hand.
     let toks: Vec<&str> = uav_line.split_whitespace().collect();
     if toks.len() != 7 || toks[0] != "uav" {
@@ -122,7 +144,10 @@ pub fn scenario_from_str(text: &str) -> Result<Scenario, ScenarioIoError> {
     let mut devices = Vec::new();
     for (n, line) in lines {
         let v = floats(line, "device", 3).ok_or_else(|| err(n, "bad device line"))?;
-        devices.push(IotDevice { pos: Point2::new(v[0], v[1]), data: MegaBytes(v[2]) });
+        devices.push(IotDevice {
+            pos: Point2::new(v[0], v[1]),
+            data: MegaBytes(v[2]),
+        });
     }
 
     let scenario = Scenario {
@@ -204,7 +229,10 @@ mod tests {
             scenario_from_str("nonsense v9\n"),
             Err(ScenarioIoError::Parse(_))
         ));
-        assert!(matches!(scenario_from_str(""), Err(ScenarioIoError::Parse(_))));
+        assert!(matches!(
+            scenario_from_str(""),
+            Err(ScenarioIoError::Parse(_))
+        ));
     }
 
     #[test]
@@ -213,12 +241,18 @@ mod tests {
         let good = scenario_to_string(&s);
         // Corrupt the radio line.
         let bad = good.replace("radio ", "radio oops ");
-        assert!(matches!(scenario_from_str(&bad), Err(ScenarioIoError::Parse(_))));
+        assert!(matches!(
+            scenario_from_str(&bad),
+            Err(ScenarioIoError::Parse(_))
+        ));
         // Drop a required field from a device line.
         let device_line = good.lines().find(|l| l.starts_with("device")).unwrap();
         let trimmed = device_line.rsplit_once(' ').unwrap().0;
         let bad2 = good.replace(device_line, trimmed);
-        assert!(matches!(scenario_from_str(&bad2), Err(ScenarioIoError::Parse(_))));
+        assert!(matches!(
+            scenario_from_str(&bad2),
+            Err(ScenarioIoError::Parse(_))
+        ));
     }
 
     #[test]
@@ -226,7 +260,10 @@ mod tests {
         let s = uniform(&ScenarioParams::default().scaled(0.02), 1);
         // Device outside the region.
         let text = scenario_to_string(&s) + "device 99999 0 10\n";
-        assert!(matches!(scenario_from_str(&text), Err(ScenarioIoError::Invalid(_))));
+        assert!(matches!(
+            scenario_from_str(&text),
+            Err(ScenarioIoError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -23,8 +23,14 @@ impl RadioModel {
     /// # Panics
     /// Panics on non-positive or non-finite parameters.
     pub fn new(range: Meters, bandwidth: MegaBytesPerSecond) -> Self {
-        assert!(range.is_finite() && range.value() > 0.0, "range must be positive");
-        assert!(bandwidth.is_finite() && bandwidth.value() > 0.0, "bandwidth must be positive");
+        assert!(
+            range.is_finite() && range.value() > 0.0,
+            "range must be positive"
+        );
+        assert!(
+            bandwidth.is_finite() && bandwidth.value() > 0.0,
+            "bandwidth must be positive"
+        );
         RadioModel { range, bandwidth }
     }
 
@@ -33,13 +39,15 @@ impl RadioModel {
     ///
     /// The paper's evaluation fixes `R0 = 50 m` directly; this constructor
     /// lets scenarios do the same for any altitude.
-    pub fn with_ground_radius(
-        r0: Meters,
-        altitude: Meters,
-        bandwidth: MegaBytesPerSecond,
-    ) -> Self {
-        assert!(r0.is_finite() && r0.value() > 0.0, "ground radius must be positive");
-        assert!(altitude.is_finite() && altitude.value() >= 0.0, "altitude must be >= 0");
+    pub fn with_ground_radius(r0: Meters, altitude: Meters, bandwidth: MegaBytesPerSecond) -> Self {
+        assert!(
+            r0.is_finite() && r0.value() > 0.0,
+            "ground radius must be positive"
+        );
+        assert!(
+            altitude.is_finite() && altitude.value() >= 0.0,
+            "altitude must be >= 0"
+        );
         let r = (r0.value() * r0.value() + altitude.value() * altitude.value()).sqrt();
         RadioModel::new(Meters(r), bandwidth)
     }
@@ -52,7 +60,9 @@ impl RadioModel {
         if h.value() < 0.0 || h > self.range {
             return None;
         }
-        Some(Meters((self.range.value().powi(2) - h.value().powi(2)).sqrt()))
+        Some(Meters(
+            (self.range.value().powi(2) - h.value().powi(2)).sqrt(),
+        ))
     }
 }
 
@@ -88,7 +98,8 @@ mod tests {
 
     #[test]
     fn ground_radius_constructor_roundtrips() {
-        let m = RadioModel::with_ground_radius(Meters(50.0), Meters(30.0), MegaBytesPerSecond(150.0));
+        let m =
+            RadioModel::with_ground_radius(Meters(50.0), Meters(30.0), MegaBytesPerSecond(150.0));
         let r0 = m.coverage_radius(Meters(30.0)).unwrap();
         assert!((r0.value() - 50.0).abs() < 1e-9);
     }

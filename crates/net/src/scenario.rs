@@ -85,7 +85,8 @@ impl UavSpec {
     /// Travel energy per metre: the override if set, else `η_t / speed`.
     #[inline]
     pub fn travel_energy_per_meter(&self) -> JoulesPerMeter {
-        self.travel_energy_override.unwrap_or(self.travel_power / self.speed)
+        self.travel_energy_override
+            .unwrap_or(self.travel_power / self.speed)
     }
 
     /// Energy consumed flying a given distance.
@@ -103,11 +104,23 @@ impl UavSpec {
     /// Validates physical sanity.
     pub fn validate(&self) -> Result<(), String> {
         let checks = [
-            (self.capacity.is_finite() && self.capacity.value() >= 0.0, "capacity"),
+            (
+                self.capacity.is_finite() && self.capacity.value() >= 0.0,
+                "capacity",
+            ),
             (self.speed.is_finite() && self.speed.value() > 0.0, "speed"),
-            (self.hover_power.is_finite() && self.hover_power.value() > 0.0, "hover_power"),
-            (self.travel_power.is_finite() && self.travel_power.value() > 0.0, "travel_power"),
-            (self.altitude.is_finite() && self.altitude.value() >= 0.0, "altitude"),
+            (
+                self.hover_power.is_finite() && self.hover_power.value() > 0.0,
+                "hover_power",
+            ),
+            (
+                self.travel_power.is_finite() && self.travel_power.value() > 0.0,
+                "travel_power",
+            ),
+            (
+                self.altitude.is_finite() && self.altitude.value() >= 0.0,
+                "altitude",
+            ),
             (
                 self.travel_energy_override
                     .is_none_or(|d| d.is_finite() && d.value() > 0.0),
@@ -166,14 +179,22 @@ impl Scenario {
         Ok(())
     }
 
+    /// Ground coverage radius `R0` of the UAV at its flight altitude,
+    /// or `None` when the altitude exceeds the transmission range
+    /// (i.e. the scenario would fail [`Scenario::validate`]).
+    pub fn try_coverage_radius(&self) -> Option<Meters> {
+        self.radio.coverage_radius(self.uav.altitude)
+    }
+
     /// Ground coverage radius `R0` of the UAV at its flight altitude.
     ///
     /// # Panics
     /// Panics when the altitude exceeds the transmission range; call
-    /// [`Scenario::validate`] first to surface that as an error.
+    /// [`Scenario::validate`] first to surface that as an error, or use
+    /// [`Scenario::try_coverage_radius`] on untrusted inputs.
     pub fn coverage_radius(&self) -> Meters {
-        self.radio
-            .coverage_radius(self.uav.altitude)
+        self.try_coverage_radius()
+            // lint:allow(panic-site): documented API contract; validate()/try_coverage_radius() are the fallible paths
             .expect("altitude exceeds transmission range; scenario is invalid")
     }
 
@@ -204,8 +225,14 @@ mod tests {
         Scenario {
             region: Aabb::square(100.0),
             devices: vec![
-                IotDevice { pos: Point2::new(10.0, 10.0), data: MegaBytes(100.0) },
-                IotDevice { pos: Point2::new(90.0, 90.0), data: MegaBytes(400.0) },
+                IotDevice {
+                    pos: Point2::new(10.0, 10.0),
+                    data: MegaBytes(100.0),
+                },
+                IotDevice {
+                    pos: Point2::new(90.0, 90.0),
+                    data: MegaBytes(400.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(50.0), MegaBytesPerSecond(150.0)),
@@ -239,7 +266,10 @@ mod tests {
     #[test]
     fn device_outside_region_rejected() {
         let mut s = tiny_scenario();
-        s.devices.push(IotDevice { pos: Point2::new(200.0, 0.0), data: MegaBytes(1.0) });
+        s.devices.push(IotDevice {
+            pos: Point2::new(200.0, 0.0),
+            data: MegaBytes(1.0),
+        });
         assert!(s.validate().unwrap_err().contains("outside region"));
     }
 

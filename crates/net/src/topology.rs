@@ -10,7 +10,7 @@
 
 use crate::scenario::IotDevice;
 use crate::units::{MegaBytes, Meters};
-use uavdc_geom::{Point2, SpatialGrid};
+use uavdc_geom::{cmp_f64, cmp_f64_desc, Point2, SpatialGrid};
 
 /// A raw (pre-aggregation) IoT device.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,15 +54,22 @@ impl AggregationOutcome {
 /// non-aggregate sends its data to the *nearest* aggregate within
 /// `comm_range`; devices with none in range are reported as stranded.
 pub fn aggregate_network(raw: &[RawDevice], comm_range: Meters) -> AggregationOutcome {
-    assert!(comm_range.is_finite() && comm_range.value() > 0.0, "comm_range must be positive");
+    assert!(
+        comm_range.is_finite() && comm_range.value() > 0.0,
+        "comm_range must be positive"
+    );
     let n = raw.len();
     if n == 0 {
-        return AggregationOutcome { aggregates: Vec::new(), assignment: Vec::new(), stranded: Vec::new() };
+        return AggregationOutcome {
+            aggregates: Vec::new(),
+            assignment: Vec::new(),
+            stranded: Vec::new(),
+        };
     }
     // Order by decreasing data volume so heavy producers become
     // aggregates and avoid forwarding cost.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| raw[b].data.value().partial_cmp(&raw[a].data.value()).unwrap());
+    order.sort_by(|&a, &b| cmp_f64_desc(raw[a].data.value(), raw[b].data.value()));
 
     let positions: Vec<Point2> = raw.iter().map(|d| d.pos).collect();
     let index = SpatialGrid::build(&positions, comm_range.value().max(1.0));
@@ -99,10 +106,10 @@ pub fn aggregate_network(raw: &[RawDevice], comm_range: Meters) -> AggregationOu
         // Nearest aggregate within range.
         let near = agg_grid.query_radius(raw[i].pos, comm_range.value());
         if let Some(&k) = near.iter().min_by(|&&a, &&b| {
-            agg_positions[a]
-                .distance_sq(raw[i].pos)
-                .partial_cmp(&agg_positions[b].distance_sq(raw[i].pos))
-                .unwrap()
+            cmp_f64(
+                agg_positions[a].distance_sq(raw[i].pos),
+                agg_positions[b].distance_sq(raw[i].pos),
+            )
         }) {
             assignment[i] = k;
             volumes[k] += raw[i].data;
@@ -114,9 +121,16 @@ pub fn aggregate_network(raw: &[RawDevice], comm_range: Meters) -> AggregationOu
     let aggregates = chosen
         .iter()
         .zip(&volumes)
-        .map(|(&i, &data)| IotDevice { pos: raw[i].pos, data })
+        .map(|(&i, &data)| IotDevice {
+            pos: raw[i].pos,
+            data,
+        })
         .collect();
-    AggregationOutcome { aggregates, assignment, stranded }
+    AggregationOutcome {
+        aggregates,
+        assignment,
+        stranded,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +139,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn raw(x: f64, y: f64, mb: f64) -> RawDevice {
-        RawDevice { pos: Point2::new(x, y), data: MegaBytes(mb) }
+        RawDevice {
+            pos: Point2::new(x, y),
+            data: MegaBytes(mb),
+        }
     }
 
     #[test]
@@ -148,7 +165,11 @@ mod tests {
         // Three devices within range: the heaviest becomes the aggregate,
         // the others forward to it.
         let out = aggregate_network(
-            &[raw(0.0, 0.0, 10.0), raw(1.0, 0.0, 99.0), raw(0.0, 1.0, 20.0)],
+            &[
+                raw(0.0, 0.0, 10.0),
+                raw(1.0, 0.0, 99.0),
+                raw(0.0, 1.0, 20.0),
+            ],
             Meters(5.0),
         );
         assert_eq!(out.aggregates.len(), 1);
@@ -184,12 +205,20 @@ mod tests {
     fn forwarding_picks_nearest_aggregate() {
         // Two aggregates far apart; a light device near the second.
         let out = aggregate_network(
-            &[raw(0.0, 0.0, 100.0), raw(30.0, 0.0, 90.0), raw(28.0, 0.0, 1.0)],
+            &[
+                raw(0.0, 0.0, 100.0),
+                raw(30.0, 0.0, 90.0),
+                raw(28.0, 0.0, 1.0),
+            ],
             Meters(6.0),
         );
         assert_eq!(out.aggregates.len(), 2);
         // Device at 28 forwards to aggregate at 30 (distance 2 < 6).
-        let a30 = out.aggregates.iter().position(|a| a.pos.x == 30.0).unwrap();
+        let a30 = out
+            .aggregates
+            .iter()
+            .position(|a| (a.pos.x - 30.0).abs() < 1e-9)
+            .unwrap();
         assert_eq!(out.assignment[2], a30);
         assert_eq!(out.aggregates[a30].data, MegaBytes(91.0));
     }
@@ -226,6 +255,9 @@ mod tests {
     }
 
     fn raw_dev(x: f64, y: f64, mb: f64) -> RawDevice {
-        RawDevice { pos: Point2::new(x, y), data: MegaBytes(mb) }
+        RawDevice {
+            pos: Point2::new(x, y),
+            data: MegaBytes(mb),
+        }
     }
 }

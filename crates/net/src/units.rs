@@ -328,7 +328,10 @@ mod tests {
     fn sums_and_clamps() {
         let total: Joules = [Joules(1.0), Joules(2.5)].into_iter().sum();
         assert_eq!(total, Joules(3.5));
-        assert_eq!((Joules(1.0) - Joules(5.0)).clamp_non_negative(), Joules::ZERO);
+        assert_eq!(
+            (Joules(1.0) - Joules(5.0)).clamp_non_negative(),
+            Joules::ZERO
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ const MAX_NODES: u64 = 50_000_000;
 /// proven — use the GRASP backend for instances that large.
 pub fn solve_bnb(inst: &OrienteeringInstance) -> OrienteeringSolution {
     if inst.is_empty() {
-        return OrienteeringSolution { tour: Vec::new(), cost: 0.0, prize: 0.0 };
+        return OrienteeringSolution {
+            tour: Vec::new(),
+            cost: 0.0,
+            prize: 0.0,
+        };
     }
     let depot = inst.depot();
     // Seed the incumbent with the greedy solution: a strong initial
@@ -39,7 +43,11 @@ pub fn solve_bnb(inst: &OrienteeringInstance) -> OrienteeringSolution {
     {
         let mut tour = best.tour.clone();
         let cost = two_opt_cost(inst, &mut tour);
-        best = OrienteeringSolution { prize: inst.tour_prize(&tour), cost, tour };
+        best = OrienteeringSolution {
+            prize: inst.tour_prize(&tour),
+            cost,
+            tour,
+        };
     }
 
     let n = inst.len();
@@ -47,7 +55,11 @@ pub fn solve_bnb(inst: &OrienteeringInstance) -> OrienteeringSolution {
     visited[depot] = true;
     let mut path = vec![depot];
     let mut nodes = 0u64;
-    let mut search = Search { inst, best, nodes: &mut nodes };
+    let mut search = Search {
+        inst,
+        best,
+        nodes: &mut nodes,
+    };
     search.dfs(&mut path, &mut visited, 0.0, inst.prize(depot));
     search.best
 }
@@ -67,6 +79,7 @@ impl Search<'_> {
         );
         let inst = self.inst;
         let depot = inst.depot();
+        // lint:allow(panic-site): dfs is always entered with the depot pushed
         let last = *path.last().expect("path holds at least the depot");
 
         // Current path closes into a feasible tour (reachability prunes
@@ -76,14 +89,18 @@ impl Search<'_> {
         if prize > self.best.prize + 1e-12
             || (prize >= self.best.prize - 1e-12 && close < self.best.cost - 1e-12)
         {
-            self.best = OrienteeringSolution { tour: path.clone(), cost: close, prize };
+            self.best = OrienteeringSolution {
+                tour: path.clone(),
+                cost: close,
+                prize,
+            };
         }
 
         // Candidate children: reachable unvisited vertices.
         let mut children: Vec<(usize, f64)> = Vec::new();
         let mut bound = 0.0;
-        for v in 0..inst.len() {
-            if visited[v] {
+        for (v, &seen) in visited.iter().enumerate() {
+            if seen {
                 continue;
             }
             let extend = cost + inst.dist(last, v) + inst.dist(v, depot);
@@ -101,7 +118,7 @@ impl Search<'_> {
         children.sort_by(|a, b| {
             let ra = inst.prize(a.0) / a.1.max(1e-12);
             let rb = inst.prize(b.0) / b.1.max(1e-12);
-            rb.partial_cmp(&ra).unwrap().then(a.0.cmp(&b.0))
+            uavdc_geom::cmp_f64_desc(ra, rb).then(a.0.cmp(&b.0))
         });
         for (v, d) in children {
             let new_cost = cost + d;
@@ -130,8 +147,9 @@ mod tests {
 
     fn random_instance(seed: u64, n: usize, budget: f64) -> OrienteeringInstance {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
         let prizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         OrienteeringInstance::new(DistMatrix::from_euclidean(&pts), prizes, 0, budget)
     }

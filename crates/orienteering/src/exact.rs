@@ -19,7 +19,11 @@ pub const EXACT_MAX_NON_DEPOT: usize = 17;
 pub fn solve_exact(inst: &OrienteeringInstance) -> OrienteeringSolution {
     let n = inst.len();
     if n == 0 {
-        return OrienteeringSolution { tour: Vec::new(), cost: 0.0, prize: 0.0 };
+        return OrienteeringSolution {
+            tour: Vec::new(),
+            cost: 0.0,
+            prize: 0.0,
+        };
     }
     if n == 1 {
         return inst.trivial_solution();

@@ -28,21 +28,35 @@ pub struct GraspConfig {
 
 impl Default for GraspConfig {
     fn default() -> Self {
-        GraspConfig { iterations: 12, alpha: 0.6, ils_rounds: 8, seed: 0x5eed_cafe }
+        GraspConfig {
+            iterations: 12,
+            alpha: 0.6,
+            ils_rounds: 8,
+            seed: 0x5eed_cafe,
+        }
     }
 }
 
 impl GraspConfig {
     /// A lighter configuration for benchmarking large sweeps.
     pub fn fast() -> Self {
-        GraspConfig { iterations: 4, alpha: 0.6, ils_rounds: 3, seed: 0x5eed_cafe }
+        GraspConfig {
+            iterations: 4,
+            alpha: 0.6,
+            ils_rounds: 3,
+            seed: 0x5eed_cafe,
+        }
     }
 }
 
 /// GRASP/ILS solver. Always feasible; never worse than depot-only.
 pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> OrienteeringSolution {
     if inst.is_empty() {
-        return OrienteeringSolution { tour: Vec::new(), cost: 0.0, prize: 0.0 };
+        return OrienteeringSolution {
+            tour: Vec::new(),
+            cost: 0.0,
+            prize: 0.0,
+        };
     }
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut best = inst.trivial_solution();
@@ -56,7 +70,11 @@ pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> Orienteeri
         cost = fill_insertions(inst, &mut tour, &mut in_tour, cost);
         let prize = inst.tour_prize(&tour);
         if prize > best.prize {
-            best = OrienteeringSolution { tour: tour.clone(), cost, prize };
+            best = OrienteeringSolution {
+                tour: tour.clone(),
+                cost,
+                prize,
+            };
         }
         // Iterated local search: eject a few random vertices, refill.
         for _ in 0..cfg.ils_rounds {
@@ -78,7 +96,11 @@ pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> Orienteeri
             let cost = fill_insertions(inst, &mut tour, &mut in_tour, c);
             let prize = inst.tour_prize(&tour);
             if prize > best.prize + 1e-12 || (prize >= best.prize - 1e-12 && cost < best.cost) {
-                best = OrienteeringSolution { tour: tour.clone(), cost, prize };
+                best = OrienteeringSolution {
+                    tour: tour.clone(),
+                    cost,
+                    prize,
+                };
             }
         }
     }
@@ -110,14 +132,22 @@ fn randomized_construction(
             if cost + delta > inst.budget + 1e-12 {
                 continue;
             }
-            let ratio = if delta <= 1e-12 { f64::MAX } else { inst.prize(v) / delta };
+            let ratio = if delta <= 1e-12 {
+                f64::MAX
+            } else {
+                inst.prize(v) / delta
+            };
             best_ratio = best_ratio.max(ratio);
             candidates.push((v, ratio, pos, delta));
         }
         if candidates.is_empty() {
             return tour;
         }
-        let threshold = if best_ratio == f64::MAX { f64::MAX } else { alpha * best_ratio };
+        let threshold = if best_ratio == f64::MAX {
+            f64::MAX
+        } else {
+            alpha * best_ratio
+        };
         let rcl: Vec<&(usize, f64, usize, f64)> =
             candidates.iter().filter(|c| c.1 >= threshold).collect();
         let pick = rcl[rng.gen_range(0..rcl.len())];
@@ -138,8 +168,9 @@ mod tests {
 
     fn random_instance(seed: u64, n: usize, budget: f64) -> OrienteeringInstance {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
         let prizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         OrienteeringInstance::new(DistMatrix::from_euclidean(&pts), prizes, 0, budget)
     }
@@ -157,7 +188,13 @@ mod tests {
     fn different_seeds_still_feasible() {
         let inst = random_instance(11, 30, 150.0);
         for seed in 0..5 {
-            let s = solve_grasp(&inst, &GraspConfig { seed, ..GraspConfig::default() });
+            let s = solve_grasp(
+                &inst,
+                &GraspConfig {
+                    seed,
+                    ..GraspConfig::default()
+                },
+            );
             assert!(inst.verify(&s), "seed {seed} produced invalid solution");
         }
     }
@@ -169,13 +206,24 @@ mod tests {
         let inst = random_instance(3, 20, 100.0);
         let g = solve_greedy(&inst);
         let s = solve_grasp(&inst, &GraspConfig::default());
-        assert!(s.prize >= g.prize - 1e-9, "grasp {} < greedy {}", s.prize, g.prize);
+        assert!(
+            s.prize >= g.prize - 1e-9,
+            "grasp {} < greedy {}",
+            s.prize,
+            g.prize
+        );
     }
 
     #[test]
     fn zero_iterations_clamped_to_one() {
         let inst = random_instance(5, 10, 50.0);
-        let s = solve_grasp(&inst, &GraspConfig { iterations: 0, ..GraspConfig::default() });
+        let s = solve_grasp(
+            &inst,
+            &GraspConfig {
+                iterations: 0,
+                ..GraspConfig::default()
+            },
+        );
         assert!(inst.verify(&s));
     }
 

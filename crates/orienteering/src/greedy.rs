@@ -11,7 +11,11 @@ use crate::{OrienteeringInstance, OrienteeringSolution};
 /// again. Deterministic; never worse than the depot-only solution.
 pub fn solve_greedy(inst: &OrienteeringInstance) -> OrienteeringSolution {
     if inst.is_empty() {
-        return OrienteeringSolution { tour: Vec::new(), cost: 0.0, prize: 0.0 };
+        return OrienteeringSolution {
+            tour: Vec::new(),
+            cost: 0.0,
+            prize: 0.0,
+        };
     }
     let mut tour = vec![inst.depot()];
     let mut in_tour = vec![false; inst.len()];
@@ -21,13 +25,17 @@ pub fn solve_greedy(inst: &OrienteeringInstance) -> OrienteeringSolution {
         let before = tour.len();
         let _ = fill_insertions(inst, &mut tour, &mut in_tour, cost);
         cost = two_opt_cost(inst, &mut tour); // recomputes the exact cost
-        // Stop when a whole wave added nothing (2-opt can only free
-        // budget, so a second chance is only useful after an insertion).
+                                              // Stop when a whole wave added nothing (2-opt can only free
+                                              // budget, so a second chance is only useful after an insertion).
         if tour.len() == before {
             break;
         }
     }
-    OrienteeringSolution { prize: inst.tour_prize(&tour), cost, tour }
+    OrienteeringSolution {
+        prize: inst.tour_prize(&tour),
+        cost,
+        tour,
+    }
 }
 
 #[cfg(test)]
@@ -77,8 +85,9 @@ mod tests {
 
     #[test]
     fn is_deterministic() {
-        let pts: Vec<(f64, f64)> =
-            (0..15).map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..15)
+            .map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let prizes: Vec<f64> = (0..15).map(|i| (i % 4 + 1) as f64).collect();
         let inst = OrienteeringInstance::new(m, prizes, 0, 80.0);

@@ -51,12 +51,11 @@ mod problem;
 pub mod team;
 
 pub use grasp::GraspConfig;
-pub use team::{solve_team, TeamConfig, TeamSolution};
 pub use problem::{OrienteeringInstance, OrienteeringSolution};
+pub use team::{solve_team, TeamConfig, TeamSolution};
 
 /// Which solver to run.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Backend {
     /// Exact subset DP (`n <= 17`). Panics on larger instances.
     Exact,
@@ -71,7 +70,6 @@ pub enum Backend {
     #[default]
     Auto,
 }
-
 
 /// Solves an orienteering instance with the chosen backend.
 ///
@@ -92,7 +90,10 @@ pub fn solve(inst: &OrienteeringInstance, backend: Backend) -> OrienteeringSolut
             }
         }
     };
-    debug_assert!(sol.cost <= inst.budget + 1e-6, "solver returned infeasible tour");
+    debug_assert!(
+        sol.cost <= inst.budget + 1e-6,
+        "solver returned infeasible tour"
+    );
     debug_assert!(inst.verify(&sol));
     sol
 }
@@ -132,7 +133,11 @@ mod tests {
     #[test]
     fn zero_budget_keeps_depot_only() {
         let inst = line_instance(0.0);
-        for backend in [Backend::Exact, Backend::Greedy, Backend::Grasp(GraspConfig::default())] {
+        for backend in [
+            Backend::Exact,
+            Backend::Greedy,
+            Backend::Grasp(GraspConfig::default()),
+        ] {
             let s = solve(&inst, backend);
             assert_eq!(s.tour, vec![0]);
             assert_eq!(s.cost, 0.0);
@@ -152,8 +157,9 @@ mod tests {
         // Just exercise both paths through Auto.
         let small = line_instance(5.0);
         let _ = solve(&small, Backend::Auto);
-        let pts: Vec<(f64, f64)> =
-            (0..20).map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| ((i * 37 % 50) as f64, (i * 13 % 50) as f64))
+            .collect();
         let m = DistMatrix::from_euclidean(&pts);
         let prizes = vec![1.0; 20];
         let inst = OrienteeringInstance::new(m, prizes, 0, 60.0);

@@ -80,7 +80,11 @@ pub fn fill_insertions(
             if cost + delta > inst.budget + 1e-12 {
                 continue;
             }
-            let ratio = if delta <= 1e-12 { f64::INFINITY } else { inst.prize(v) / delta };
+            let ratio = if delta <= 1e-12 {
+                f64::INFINITY
+            } else {
+                inst.prize(v) / delta
+            };
             if ratio > best_ratio {
                 best_ratio = ratio;
                 best_v = v;

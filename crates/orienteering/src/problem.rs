@@ -23,11 +23,22 @@ impl OrienteeringInstance {
     pub fn new(dist: DistMatrix, prize: Vec<f64>, depot: usize, budget: f64) -> Self {
         assert_eq!(prize.len(), dist.len(), "one prize per vertex");
         assert!(depot < dist.len().max(1), "depot {depot} out of range");
-        assert!(budget.is_finite() && budget >= 0.0, "budget must be finite and >= 0");
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "budget must be finite and >= 0"
+        );
         for (v, &p) in prize.iter().enumerate() {
-            assert!(p.is_finite() && p >= 0.0, "prize of vertex {v} must be finite and >= 0");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "prize of vertex {v} must be finite and >= 0"
+            );
         }
-        OrienteeringInstance { dist, prize, depot, budget }
+        OrienteeringInstance {
+            dist,
+            prize,
+            depot,
+            budget,
+        }
     }
 
     /// Number of vertices.
@@ -147,23 +158,39 @@ mod tests {
     #[test]
     fn verify_accepts_valid_solution() {
         let inst = small();
-        let sol = OrienteeringSolution { tour: vec![0, 1, 2], cost: 12.0, prize: 30.0 };
+        let sol = OrienteeringSolution {
+            tour: vec![0, 1, 2],
+            cost: 12.0,
+            prize: 30.0,
+        };
         assert!(inst.verify(&sol));
     }
 
     #[test]
     fn verify_rejects_wrong_start() {
         let inst = small();
-        let sol = OrienteeringSolution { tour: vec![1, 0], cost: 6.0, prize: 10.0 };
+        let sol = OrienteeringSolution {
+            tour: vec![1, 0],
+            cost: 6.0,
+            prize: 10.0,
+        };
         assert!(!inst.verify(&sol));
     }
 
     #[test]
     fn verify_rejects_duplicates_and_overbudget() {
         let inst = small();
-        let dup = OrienteeringSolution { tour: vec![0, 1, 1], cost: 6.0, prize: 20.0 };
+        let dup = OrienteeringSolution {
+            tour: vec![0, 1, 1],
+            cost: 6.0,
+            prize: 20.0,
+        };
         assert!(!inst.verify(&dup));
-        let over = OrienteeringSolution { tour: vec![0, 2], cost: 10.0, prize: 20.0 };
+        let over = OrienteeringSolution {
+            tour: vec![0, 2],
+            cost: 10.0,
+            prize: 20.0,
+        };
         assert!(inst.verify(&over)); // cost 10 <= 12
         let mut inst2 = small();
         inst2.budget = 9.0;
@@ -173,9 +200,17 @@ mod tests {
     #[test]
     fn verify_rejects_wrong_bookkeeping() {
         let inst = small();
-        let bad_cost = OrienteeringSolution { tour: vec![0, 1], cost: 5.0, prize: 10.0 };
+        let bad_cost = OrienteeringSolution {
+            tour: vec![0, 1],
+            cost: 5.0,
+            prize: 10.0,
+        };
         assert!(!inst.verify(&bad_cost));
-        let bad_prize = OrienteeringSolution { tour: vec![0, 1], cost: 6.0, prize: 11.0 };
+        let bad_prize = OrienteeringSolution {
+            tour: vec![0, 1],
+            cost: 6.0,
+            prize: 11.0,
+        };
         assert!(!inst.verify(&bad_prize));
     }
 

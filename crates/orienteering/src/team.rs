@@ -71,7 +71,11 @@ pub struct TeamConfig {
 impl TeamConfig {
     /// `m` tours with default improvement effort.
     pub fn new(teams: usize) -> Self {
-        TeamConfig { teams, ils_rounds: 12, seed: 0x7ea1 }
+        TeamConfig {
+            teams,
+            ils_rounds: 12,
+            seed: 0x7ea1,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ impl TeamConfig {
 pub fn solve_team(inst: &OrienteeringInstance, cfg: &TeamConfig) -> TeamSolution {
     assert!(cfg.teams >= 1, "need at least one team member");
     if inst.is_empty() {
-        return TeamSolution { tours: Vec::new(), costs: Vec::new(), prize: 0.0 };
+        return TeamSolution {
+            tours: Vec::new(),
+            costs: Vec::new(),
+            prize: 0.0,
+        };
     }
     let m = cfg.teams;
     let mut tours: Vec<Vec<usize>> = vec![vec![inst.depot()]; m];
@@ -140,7 +148,11 @@ fn snapshot(inst: &OrienteeringInstance, tours: &[Vec<usize>], costs: &[f64]) ->
             prize += inst.prize(v);
         }
     }
-    TeamSolution { tours: tours.to_vec(), costs: costs.to_vec(), prize }
+    TeamSolution {
+        tours: tours.to_vec(),
+        costs: costs.to_vec(),
+        prize,
+    }
 }
 
 /// Best-ratio insertion across all tours until nothing fits; 2-opt
@@ -156,8 +168,8 @@ fn fill_team(
         loop {
             // (vertex, tour, pos, delta) with the best prize/delta ratio.
             let mut best: Option<(usize, usize, usize, f64, f64)> = None;
-            for v in 0..inst.len() {
-                if in_tour[v] || inst.prize(v) <= 0.0 {
+            for (v, &used) in in_tour.iter().enumerate() {
+                if used || inst.prize(v) <= 0.0 {
                     continue;
                 }
                 for (t, tour) in tours.iter().enumerate() {
@@ -165,8 +177,11 @@ fn fill_team(
                     if costs[t] + delta > inst.budget + 1e-12 {
                         continue;
                     }
-                    let ratio =
-                        if delta <= 1e-12 { f64::INFINITY } else { inst.prize(v) / delta };
+                    let ratio = if delta <= 1e-12 {
+                        f64::INFINITY
+                    } else {
+                        inst.prize(v) / delta
+                    };
                     let better = match best {
                         None => true,
                         Some((bv, bt, _, _, br)) => {
@@ -178,7 +193,9 @@ fn fill_team(
                     }
                 }
             }
-            let Some((v, t, pos, delta, _)) = best else { break };
+            let Some((v, t, pos, delta, _)) = best else {
+                break;
+            };
             tours[t].insert(pos, v);
             in_tour[v] = true;
             costs[t] += delta;
@@ -209,8 +226,9 @@ mod tests {
 
     fn random_instance(seed: u64, n: usize, budget: f64) -> OrienteeringInstance {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
         let prizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..10.0)).collect();
         OrienteeringInstance::new(DistMatrix::from_euclidean(&pts), prizes, 0, budget)
     }
@@ -229,7 +247,12 @@ mod tests {
         assert!(team.verify(&inst));
         let single = solve_greedy(&inst);
         // Same greedy family plus ILS: must not be drastically worse.
-        assert!(team.prize >= 0.9 * single.prize, "team {} vs single {}", team.prize, single.prize);
+        assert!(
+            team.prize >= 0.9 * single.prize,
+            "team {} vs single {}",
+            team.prize,
+            single.prize
+        );
     }
 
     #[test]
@@ -263,14 +286,22 @@ mod tests {
         let one = solve_team(&inst, &TeamConfig::new(1));
         let two = solve_team(&inst, &TeamConfig::new(2));
         assert!(two.verify(&inst));
-        assert!(two.prize >= 40.0 - 1e-9, "two teams should take both clusters: {}", two.prize);
+        assert!(
+            two.prize >= 40.0 - 1e-9,
+            "two teams should take both clusters: {}",
+            two.prize
+        );
         assert!(one.prize < two.prize);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let inst = random_instance(11, 25, 90.0);
-        let cfg = TeamConfig { teams: 2, ils_rounds: 8, seed: 42 };
+        let cfg = TeamConfig {
+            teams: 2,
+            ils_rounds: 8,
+            seed: 42,
+        };
         assert_eq!(solve_team(&inst, &cfg), solve_team(&inst, &cfg));
     }
 

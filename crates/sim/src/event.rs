@@ -82,7 +82,9 @@ impl SimTrace {
     /// Appends an event, checking monotonicity in debug builds.
     pub fn push(&mut self, e: SimEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.time() <= e.time() + Seconds(1e-9)),
+            self.events
+                .last()
+                .is_none_or(|last| last.time() <= e.time() + Seconds(1e-9)),
             "event log must be chronological"
         );
         self.events.push(e);
@@ -114,8 +116,15 @@ mod tests {
     #[test]
     fn trace_is_chronological() {
         let mut tr = SimTrace::default();
-        tr.push(SimEvent::Departed { t: Seconds(0.0), from: Point2::ORIGIN, to: Point2::ORIGIN });
-        tr.push(SimEvent::Arrived { t: Seconds(5.0), pos: Point2::ORIGIN });
+        tr.push(SimEvent::Departed {
+            t: Seconds(0.0),
+            from: Point2::ORIGIN,
+            to: Point2::ORIGIN,
+        });
+        tr.push(SimEvent::Arrived {
+            t: Seconds(5.0),
+            pos: Point2::ORIGIN,
+        });
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.events[1].time(), Seconds(5.0));
     }
@@ -125,15 +134,29 @@ mod tests {
     #[cfg(debug_assertions)]
     fn out_of_order_event_panics_in_debug() {
         let mut tr = SimTrace::default();
-        tr.push(SimEvent::Arrived { t: Seconds(5.0), pos: Point2::ORIGIN });
-        tr.push(SimEvent::Arrived { t: Seconds(1.0), pos: Point2::ORIGIN });
+        tr.push(SimEvent::Arrived {
+            t: Seconds(5.0),
+            pos: Point2::ORIGIN,
+        });
+        tr.push(SimEvent::Arrived {
+            t: Seconds(1.0),
+            pos: Point2::ORIGIN,
+        });
     }
 
     #[test]
     fn uploads_filter() {
         let mut tr = SimTrace::default();
-        tr.push(SimEvent::Uploaded { t: Seconds(1.0), device: DeviceId(3), amount: MegaBytes(5.0) });
-        tr.push(SimEvent::HoverEnded { t: Seconds(2.0), pos: Point2::ORIGIN, energy_used: Joules(1.0) });
+        tr.push(SimEvent::Uploaded {
+            t: Seconds(1.0),
+            device: DeviceId(3),
+            amount: MegaBytes(5.0),
+        });
+        tr.push(SimEvent::HoverEnded {
+            t: Seconds(2.0),
+            pos: Point2::ORIGIN,
+            energy_used: Joules(1.0),
+        });
         assert_eq!(tr.uploads().count(), 1);
     }
 }

@@ -80,7 +80,9 @@ impl PeriodicOutcome {
     /// exceeded `bound` — a practical steady-state criterion.
     pub fn backlog_bounded_by(&self, bound: MegaBytes) -> bool {
         let start = self.rounds.len() - self.rounds.len() / 4 - 1;
-        self.rounds[start..].iter().all(|r| r.backlog_after.value() <= bound.value() + 1e-9)
+        self.rounds[start..]
+            .iter()
+            .all(|r| r.backlog_after.value() <= bound.value() + 1e-9)
     }
 }
 
@@ -181,7 +183,10 @@ mod tests {
                 .collect(),
             depot: Point2::new(100.0, 100.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -228,11 +233,17 @@ mod tests {
         let unbounded = run_periodic(&s, &Alg2Planner::default(), &cfg(8, 1.0, None));
         let first = unbounded.rounds.first().unwrap().backlog_after.value();
         let last = unbounded.rounds.last().unwrap().backlog_after.value();
-        assert!(last > first, "backlog should grow when starved: {first} -> {last}");
+        assert!(
+            last > first,
+            "backlog should grow when starved: {first} -> {last}"
+        );
         assert_eq!(unbounded.total_dropped, MegaBytes::ZERO);
 
         let bounded = run_periodic(&s, &Alg2Planner::default(), &cfg(8, 1.0, Some(800.0)));
-        assert!(bounded.total_dropped.value() > 0.0, "bounded buffers must drop");
+        assert!(
+            bounded.total_dropped.value() > 0.0,
+            "bounded buffers must drop"
+        );
         assert!(bounded.conserves_data());
         // Backlog cannot exceed the total buffer capacity.
         assert!(bounded.final_backlog.value() <= 6.0 * 800.0 + 1e-6);

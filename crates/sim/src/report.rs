@@ -101,7 +101,11 @@ impl std::fmt::Display for MissionReport {
         writeln!(
             f,
             "mission {}: {:.2} GB in {:.0} s over {} stops",
-            if self.completed { "completed" } else { "ABORTED" },
+            if self.completed {
+                "completed"
+            } else {
+                "ABORTED"
+            },
             megabytes_as_gb(self.collected),
             self.mission_time.value(),
             self.stops_reached,
@@ -141,15 +145,21 @@ pub fn write_trace_csv(path: &std::path::Path, outcome: &SimOutcome) -> std::io:
                 device.0,
                 amount.value()
             )?,
-            SimEvent::HoverEnded { t, pos, .. } => {
-                writeln!(f, "{:.3},hover_ended,{:.2},{:.2},,", t.value(), pos.x, pos.y)?
-            }
-            SimEvent::BatteryDepleted { t, pos } => {
-                writeln!(f, "{:.3},battery_depleted,{:.2},{:.2},,", t.value(), pos.x, pos.y)?
-            }
-            SimEvent::ReturnedToDepot { t, .. } => {
-                writeln!(f, "{:.3},returned,,,,", t.value())?
-            }
+            SimEvent::HoverEnded { t, pos, .. } => writeln!(
+                f,
+                "{:.3},hover_ended,{:.2},{:.2},,",
+                t.value(),
+                pos.x,
+                pos.y
+            )?,
+            SimEvent::BatteryDepleted { t, pos } => writeln!(
+                f,
+                "{:.3},battery_depleted,{:.2},{:.2},,",
+                t.value(),
+                pos.x,
+                pos.y
+            )?,
+            SimEvent::ReturnedToDepot { t, .. } => writeln!(f, "{:.3},returned,,,,", t.value())?,
         }
     }
     Ok(())
@@ -168,12 +178,21 @@ mod tests {
         Scenario {
             region: Aabb::square(200.0),
             devices: vec![
-                IotDevice { pos: Point2::new(30.0, 40.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(100.0, 40.0), data: MegaBytes(150.0) },
+                IotDevice {
+                    pos: Point2::new(30.0, 40.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(100.0, 40.0),
+                    data: MegaBytes(150.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(10_000.0), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(10_000.0),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -203,8 +222,7 @@ mod tests {
         // Hover: 3 s * 150 J/s.
         assert!((r.hover_energy.value() - 450.0).abs() < 1e-9);
         assert!(
-            (r.hover_energy.value() + r.travel_energy.value() - r.energy_used.value()).abs()
-                < 1e-9
+            (r.hover_energy.value() + r.travel_energy.value() - r.energy_used.value()).abs() < 1e-9
         );
         assert_eq!(r.stops_reached, 2);
         assert_eq!(r.legs_flown, 3); // two stops + return

@@ -74,8 +74,7 @@ impl SimOutcome {
         let claimed = plan.collected_volume();
         let energy = plan.total_energy(scenario);
         (self.collected.value() - claimed.value()).abs() < 1e-6 * (1.0 + claimed.value())
-            && (self.energy_used.value() - energy.value()).abs()
-                < 1e-6 * (1.0 + energy.value())
+            && (self.energy_used.value() - energy.value()).abs() < 1e-6 * (1.0 + energy.value())
     }
 }
 
@@ -107,8 +106,14 @@ pub fn simulate(scenario: &Scenario, plan: &CollectionPlan, config: &SimConfig) 
         for stop in &plan.stops {
             // --- Fly to the stop -------------------------------------
             if !fly_leg(
-                &mut t, &mut energy, &mut pos, stop.pos, speed,
-                per_m_nominal * wind.next_leg_factor(), capacity, &mut trace,
+                &mut t,
+                &mut energy,
+                &mut pos,
+                stop.pos,
+                speed,
+                per_m_nominal * wind.next_leg_factor(),
+                capacity,
+                &mut trace,
             ) {
                 aborted = true;
                 break 'mission;
@@ -153,15 +158,18 @@ pub fn simulate(scenario: &Scenario, plan: &CollectionPlan, config: &SimConfig) 
                             if got > 0.0 {
                                 residual[i] -= got;
                                 per_device[i] += got;
-                                uploads
-                                    .push(((got / eff_b).min(actual_sojourn), DeviceId(i as u32), got));
+                                uploads.push((
+                                    (got / eff_b).min(actual_sojourn),
+                                    DeviceId(i as u32),
+                                    got,
+                                ));
                             }
                         }
                     }
                 }
             }
             if config.record_uploads {
-                uploads.sort_by(|a, b2| a.0.partial_cmp(&b2.0).unwrap());
+                uploads.sort_by(|a, b2| uavdc_geom::cmp_f64(a.0, b2.0));
                 for (dt, dev, got) in uploads {
                     trace.push(SimEvent::Uploaded {
                         t: Seconds(t + dt),
@@ -175,7 +183,10 @@ pub fn simulate(scenario: &Scenario, plan: &CollectionPlan, config: &SimConfig) 
             hover_used += actual_sojourn * eta_h;
             let _ = hover_cost;
             if truncated {
-                trace.push(SimEvent::BatteryDepleted { t: Seconds(t), pos: stop.pos });
+                trace.push(SimEvent::BatteryDepleted {
+                    t: Seconds(t),
+                    pos: stop.pos,
+                });
                 aborted = true;
                 break 'mission;
             }
@@ -187,18 +198,30 @@ pub fn simulate(scenario: &Scenario, plan: &CollectionPlan, config: &SimConfig) 
         }
         // --- Return to depot ------------------------------------------
         if !fly_leg(
-            &mut t, &mut energy, &mut pos, scenario.depot, speed,
-            per_m_nominal * wind.next_leg_factor(), capacity, &mut trace,
+            &mut t,
+            &mut energy,
+            &mut pos,
+            scenario.depot,
+            speed,
+            per_m_nominal * wind.next_leg_factor(),
+            capacity,
+            &mut trace,
         ) {
             aborted = true;
             break 'mission;
         }
-        trace.push(SimEvent::ReturnedToDepot { t: Seconds(t), energy_used: Joules(energy) });
+        trace.push(SimEvent::ReturnedToDepot {
+            t: Seconds(t),
+            energy_used: Joules(energy),
+        });
     }
 
     // Data only counts if it made it home.
     let (collected, per_device) = if aborted {
-        (MegaBytes::ZERO, vec![MegaBytes::ZERO; scenario.num_devices()])
+        (
+            MegaBytes::ZERO,
+            vec![MegaBytes::ZERO; scenario.num_devices()],
+        )
     } else {
         (
             MegaBytes(per_device.iter().sum()),
@@ -230,27 +253,42 @@ fn fly_leg(
     trace: &mut SimTrace,
 ) -> bool {
     let dist = pos.distance(to);
-    if dist == 0.0 {
+    if dist <= 0.0 {
+        // Already at the target (distance is non-negative).
         return true;
     }
-    trace.push(SimEvent::Departed { t: Seconds(*t), from: *pos, to });
+    trace.push(SimEvent::Departed {
+        t: Seconds(*t),
+        from: *pos,
+        to,
+    });
     let cost = dist * per_m;
     let budget = capacity - *energy;
     if cost > budget + 1e-9 {
         // Battery dies after travelling `budget / per_m` metres.
-        let reach = if per_m > 0.0 { (budget / per_m).max(0.0) } else { dist };
+        let reach = if per_m > 0.0 {
+            (budget / per_m).max(0.0)
+        } else {
+            dist
+        };
         let frac = (reach / dist).clamp(0.0, 1.0);
         let died_at = pos.lerp(to, frac);
         *t += reach / speed;
         *energy += reach * per_m;
         *pos = died_at;
-        trace.push(SimEvent::BatteryDepleted { t: Seconds(*t), pos: died_at });
+        trace.push(SimEvent::BatteryDepleted {
+            t: Seconds(*t),
+            pos: died_at,
+        });
         return false;
     }
     *t += dist / speed;
     *energy += cost;
     *pos = to;
-    trace.push(SimEvent::Arrived { t: Seconds(*t), pos: to });
+    trace.push(SimEvent::Arrived {
+        t: Seconds(*t),
+        pos: to,
+    });
     true
 }
 
@@ -266,12 +304,21 @@ mod tests {
         Scenario {
             region: Aabb::square(200.0),
             devices: vec![
-                IotDevice { pos: Point2::new(30.0, 40.0), data: MegaBytes(300.0) },
-                IotDevice { pos: Point2::new(33.0, 40.0), data: MegaBytes(600.0) },
+                IotDevice {
+                    pos: Point2::new(30.0, 40.0),
+                    data: MegaBytes(300.0),
+                },
+                IotDevice {
+                    pos: Point2::new(33.0, 40.0),
+                    data: MegaBytes(600.0),
+                },
             ],
             depot: Point2::new(0.0, 0.0),
             radio: RadioModel::new(Meters(20.0), MegaBytesPerSecond(150.0)),
-            uav: UavSpec { capacity: Joules(capacity), ..UavSpec::paper_default() },
+            uav: UavSpec {
+                capacity: Joules(capacity),
+                ..UavSpec::paper_default()
+            },
         }
     }
 
@@ -319,7 +366,10 @@ mod tests {
                 SimEvent::ReturnedToDepot { .. } => "home",
             })
             .collect();
-        assert_eq!(kinds, vec!["dep", "arr", "up", "up", "hov", "dep", "arr", "home"]);
+        assert_eq!(
+            kinds,
+            vec!["dep", "arr", "up", "up", "hov", "dep", "arr", "home"]
+        );
     }
 
     #[test]
@@ -328,7 +378,11 @@ mod tests {
         let s = scenario(300.0);
         let out = simulate(&s, &one_stop_plan(), &SimConfig::default());
         assert!(!out.completed);
-        assert_eq!(out.collected, MegaBytes::ZERO, "data must not count if the UAV is lost");
+        assert_eq!(
+            out.collected,
+            MegaBytes::ZERO,
+            "data must not count if the UAV is lost"
+        );
         assert!((out.energy_used.value() - 300.0).abs() < 1e-9);
         // Died 30 m along the 50 m leg.
         let dead = out.trace.events.iter().find_map(|e| match e {
@@ -372,7 +426,10 @@ mod tests {
         let opp = simulate(
             &s,
             &plan,
-            &SimConfig { policy: CollectionPolicy::Opportunistic, ..SimConfig::default() },
+            &SimConfig {
+                policy: CollectionPolicy::Opportunistic,
+                ..SimConfig::default()
+            },
         );
         assert!(opp.collected.value() >= strict.collected.value());
         // Device 1 uploads 2 s * 150 MB/s = 300 MB opportunistically.
@@ -387,7 +444,10 @@ mod tests {
         let windy = simulate(
             &s,
             &plan,
-            &SimConfig { wind: WindModel::uniform(1.3, 1.3, 1), ..SimConfig::default() },
+            &SimConfig {
+                wind: WindModel::uniform(1.3, 1.3, 1),
+                ..SimConfig::default()
+            },
         );
         assert!(windy.energy_used.value() > calm.energy_used.value());
         // Exactly 30% more on travel: 1300 vs 1000 J, hover unchanged.
@@ -402,7 +462,10 @@ mod tests {
         let windy = simulate(
             &s,
             &plan,
-            &SimConfig { wind: WindModel::uniform(1.5, 1.5, 2), ..SimConfig::default() },
+            &SimConfig {
+                wind: WindModel::uniform(1.5, 1.5, 2),
+                ..SimConfig::default()
+            },
         );
         assert!(!windy.completed);
     }

@@ -21,9 +21,15 @@ impl WindModel {
     /// # Panics
     /// Panics unless `0 < lo <= hi` and both are finite.
     pub fn uniform(lo: f64, hi: f64, seed: u64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi,
-            "wind factors must satisfy 0 < lo <= hi, got [{lo}, {hi}]");
-        WindModel { rng: SmallRng::seed_from_u64(seed), lo, hi }
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi,
+            "wind factors must satisfy 0 < lo <= hi, got [{lo}, {hi}]"
+        );
+        WindModel {
+            rng: SmallRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
     }
 
     /// Calm air: every leg costs exactly its nominal energy.
@@ -65,12 +71,20 @@ impl LinkModel {
             lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi && hi <= 1.0,
             "link factors must satisfy 0 < lo <= hi <= 1, got [{lo}, {hi}]"
         );
-        LinkModel { rng: SmallRng::seed_from_u64(seed), lo, hi }
+        LinkModel {
+            rng: SmallRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
     }
 
     /// Nominal link: every stop gets the full bandwidth.
     pub fn nominal() -> Self {
-        LinkModel { rng: SmallRng::seed_from_u64(0), lo: 1.0, hi: 1.0 }
+        LinkModel {
+            rng: SmallRng::seed_from_u64(0),
+            lo: 1.0,
+            hi: 1.0,
+        }
     }
 
     /// Draws the factor for the next stop.

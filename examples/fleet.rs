@@ -25,13 +25,19 @@ fn main() {
     for m in [1, 2, 3, 4, 6] {
         let sectors = MultiUavPlanner::new(
             Alg2Planner::default(),
-            FleetConfig { fleet_size: m, partition: FleetPartition::Sectors },
+            FleetConfig {
+                fleet_size: m,
+                partition: FleetPartition::Sectors,
+            },
         )
         .plan_fleet(&scenario);
         sectors.validate(&scenario).expect("valid fleet plan");
         let kmeans = MultiUavPlanner::new(
             Alg2Planner::default(),
-            FleetConfig { fleet_size: m, partition: FleetPartition::KMeans },
+            FleetConfig {
+                fleet_size: m,
+                partition: FleetPartition::KMeans,
+            },
         )
         .plan_fleet(&scenario);
         kmeans.validate(&scenario).expect("valid fleet plan");

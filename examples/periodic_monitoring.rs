@@ -31,7 +31,10 @@ fn main() {
             period: Seconds(1800.0),
             generation_rates: rates.clone(),
             buffer_capacity: Some(MegaBytes(1500.0)),
-            sim: SimConfig { record_uploads: false, ..SimConfig::default() },
+            sim: SimConfig {
+                record_uploads: false,
+                ..SimConfig::default()
+            },
         };
         let out = run_periodic(&s, &Alg2Planner::default(), &cfg);
         assert!(out.conserves_data());

@@ -34,7 +34,8 @@ fn main() {
     );
     for planner in planners {
         let plan = planner.plan(&scenario);
-        plan.validate(&scenario).expect("planner must produce a valid plan");
+        plan.validate(&scenario)
+            .expect("planner must produce a valid plan");
         let outcome = simulate(&scenario, &plan, &SimConfig::default());
         println!(
             "{:<36} {:>10.2} {:>8} {:>12.0} {:>10}",

@@ -10,18 +10,23 @@
 //! cargo run --release --example smart_city
 //! ```
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use uavdc::net::topology::{aggregate_network, RawDevice};
 use uavdc::net::units::Meters as M;
 use uavdc::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // --- Raw deployment: 2000 devices around 8 facilities ------------
     let mut rng = SmallRng::seed_from_u64(2024);
     let side = 1000.0;
     let facilities: Vec<Point2> = (0..8)
-        .map(|_| Point2::new(rng.gen_range(100.0..side - 100.0), rng.gen_range(100.0..side - 100.0)))
+        .map(|_| {
+            Point2::new(
+                rng.gen_range(100.0..side - 100.0),
+                rng.gen_range(100.0..side - 100.0),
+            )
+        })
         .collect();
     let mut raw = Vec::new();
     while raw.len() < 2000 {
@@ -33,7 +38,10 @@ fn main() {
         if p.x < 0.0 || p.x > side || p.y < 0.0 || p.y > side {
             continue;
         }
-        raw.push(RawDevice { pos: p, data: MegaBytes(rng.gen_range(10.0..80.0)) });
+        raw.push(RawDevice {
+            pos: p,
+            data: MegaBytes(rng.gen_range(10.0..80.0)),
+        });
     }
     let total_raw: f64 = raw.iter().map(|d| d.data.value()).sum();
 

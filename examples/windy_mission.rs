@@ -16,7 +16,10 @@ use uavdc::prelude::*;
 fn main() {
     let gusty = (1.0, 1.5); // per-leg travel-energy factor range
     let trials = 20;
-    println!("wind: uniform per-leg factor in [{}, {}], {trials} missions per point", gusty.0, gusty.1);
+    println!(
+        "wind: uniform per-leg factor in [{}, {}], {trials} missions per point",
+        gusty.0, gusty.1
+    );
     println!(
         "\n{:>10} {:>12} {:>14} {:>16}",
         "margin %", "planned GB", "completed %", "delivered GB"

@@ -123,7 +123,9 @@ fn build_scenario(a: &Args) -> Scenario {
             usage();
         }
     };
-    scenario.validate().expect("generated scenario must be valid");
+    scenario
+        .validate()
+        .expect("generated scenario must be valid");
     if let Some(path) = &a.save {
         uavdc::net::io::write_scenario(path, &scenario)
             .unwrap_or_else(|e| panic!("failed to save {}: {e}", path.display()));
@@ -134,8 +136,14 @@ fn build_scenario(a: &Args) -> Scenario {
 
 fn make_planner(a: &Args) -> Box<dyn Planner> {
     match a.alg.as_str() {
-        "alg1" => Box::new(Alg1Planner::new(Alg1Config { delta: a.delta, ..Alg1Config::default() })),
-        "alg2" => Box::new(Alg2Planner::new(Alg2Config { delta: a.delta, ..Alg2Config::default() })),
+        "alg1" => Box::new(Alg1Planner::new(Alg1Config {
+            delta: a.delta,
+            ..Alg1Config::default()
+        })),
+        "alg2" => Box::new(Alg2Planner::new(Alg2Config {
+            delta: a.delta,
+            ..Alg2Config::default()
+        })),
         "alg3" => Box::new(Alg3Planner::new(Alg3Config {
             delta: a.delta,
             k: a.k,
@@ -168,7 +176,8 @@ fn run_plan(a: &Args) {
     let started = std::time::Instant::now();
     let plan = planner.plan(&scenario);
     let dt = started.elapsed();
-    plan.validate(&scenario).expect("planner must produce a valid plan");
+    plan.validate(&scenario)
+        .expect("planner must produce a valid plan");
     println!(
         "\n{}: {:.2} GB at {} stops, {:.0} J ({:.0} travel / {:.0} hover), planned in {:.1} ms",
         planner.name(),
@@ -208,8 +217,14 @@ fn run_fleet(a: &Args) {
         }
     };
     let fleet = MultiUavPlanner::new(
-        Alg2Planner::new(Alg2Config { delta: a.delta, ..Alg2Config::default() }),
-        FleetConfig { fleet_size: a.uavs, partition },
+        Alg2Planner::new(Alg2Config {
+            delta: a.delta,
+            ..Alg2Config::default()
+        }),
+        FleetConfig {
+            fleet_size: a.uavs,
+            partition,
+        },
     )
     .plan_fleet(&scenario);
     fleet.validate(&scenario).expect("fleet plan must validate");
@@ -232,9 +247,15 @@ fn run_fleet(a: &Args) {
 fn run_compare(a: &Args) {
     let scenario = build_scenario(a);
     describe(&scenario);
-    println!("\n{:<36} {:>10} {:>8} {:>12} {:>10}", "planner", "GB", "stops", "energy (J)", "ms");
+    println!(
+        "\n{:<36} {:>10} {:>8} {:>12} {:>10}",
+        "planner", "GB", "stops", "energy (J)", "ms"
+    );
     for alg in ["alg1", "alg2", "alg3", "benchmark"] {
-        let planner = make_planner(&Args { alg: alg.into(), ..clone_args(a) });
+        let planner = make_planner(&Args {
+            alg: alg.into(),
+            ..clone_args(a)
+        });
         let started = std::time::Instant::now();
         let plan = planner.plan(&scenario);
         let dt = started.elapsed();

@@ -32,7 +32,11 @@ impl Mapper {
     fn new(scenario: &Scenario) -> Self {
         let r = &scenario.region;
         let span = r.width().max(r.height()).max(1e-9);
-        Mapper { min_x: r.min.x, min_y: r.min.y, scale: (CANVAS - 2.0 * MARGIN) / span }
+        Mapper {
+            min_x: r.min.x,
+            min_y: r.min.y,
+            scale: (CANVAS - 2.0 * MARGIN) / span,
+        }
     }
 
     fn x(&self, wx: f64) -> f64 {
@@ -87,7 +91,11 @@ pub fn render_plan_svg(scenario: &Scenario, plan: &CollectionPlan) -> String {
     for stop in &plan.stops {
         points.push_str(&format!(" {:.1},{:.1}", m.x(stop.pos.x), m.y(stop.pos.y)));
     }
-    points.push_str(&format!(" {:.1},{:.1}", m.x(scenario.depot.x), m.y(scenario.depot.y)));
+    points.push_str(&format!(
+        " {:.1},{:.1}",
+        m.x(scenario.depot.x),
+        m.y(scenario.depot.y)
+    ));
     svg.push_str(&format!(
         "  <polyline points=\"{points}\" fill=\"none\" stroke=\"#e45756\" stroke-width=\"1.5\"/>\n"
     ));
@@ -141,7 +149,11 @@ fn draw_scenario(svg: &mut String, scenario: &Scenario, m: &Mapper, collected: &
         .fold(1.0f64, f64::max);
     for (i, dev) in scenario.devices.iter().enumerate() {
         let rr = 1.5 + 3.5 * (dev.data.value() / max_vol).sqrt();
-        let fill = if collected.get(i).copied().unwrap_or(false) { "#54a24b" } else { "#9d9d9d" };
+        let fill = if collected.get(i).copied().unwrap_or(false) {
+            "#54a24b"
+        } else {
+            "#9d9d9d"
+        };
         svg.push_str(&format!(
             "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"{}\"><title>device {} — {:.0} MB</title></circle>\n",
             m.x(dev.pos.x),

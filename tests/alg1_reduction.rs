@@ -64,7 +64,10 @@ fn disjoint_candidates_have_exclusive_coverage() {
     let mut seen = std::collections::HashSet::new();
     for c in &dj.candidates {
         for &v in &c.covered {
-            assert!(seen.insert(v), "device {v} covered by two disjoint candidates");
+            assert!(
+                seen.insert(v),
+                "device {v} covered by two disjoint candidates"
+            );
         }
     }
     assert!(!dj.candidates.is_empty());

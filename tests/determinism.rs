@@ -62,7 +62,10 @@ fn simulation_is_deterministic_including_wind() {
     let params = ScenarioParams::default().scaled(0.1);
     let scenario = uniform(&params, 3);
     let plan = Alg2Planner::default().plan(&scenario);
-    let cfg = SimConfig { wind: WindModel::uniform(1.0, 1.4, 77), ..SimConfig::default() };
+    let cfg = SimConfig {
+        wind: WindModel::uniform(1.0, 1.4, 77),
+        ..SimConfig::default()
+    };
     let a = simulate(&scenario, &plan, &cfg);
     let b = simulate(&scenario, &plan, &cfg);
     assert_eq!(a.collected.value(), b.collected.value());

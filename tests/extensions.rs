@@ -23,7 +23,10 @@ fn all_fleet_strategies_validate_and_simulate() {
             "kmeans",
             MultiUavPlanner::new(
                 Alg2Planner::default(),
-                FleetConfig { fleet_size: 3, partition: FleetPartition::KMeans },
+                FleetConfig {
+                    fleet_size: 3,
+                    partition: FleetPartition::KMeans,
+                },
             )
             .plan_fleet(&s),
         ),
@@ -37,7 +40,10 @@ fn all_fleet_strategies_validate_and_simulate() {
         for (u, plan) in fleet.plans.iter().enumerate() {
             let outcome = simulate(&s, plan, &SimConfig::default());
             assert!(outcome.completed, "{name} UAV {u} aborted");
-            assert!(outcome.agrees_with_plan(plan, &s), "{name} UAV {u} accounting mismatch");
+            assert!(
+                outcome.agrees_with_plan(plan, &s),
+                "{name} UAV {u} accounting mismatch"
+            );
         }
     }
 }
@@ -55,7 +61,8 @@ fn polishing_any_planner_preserves_collection_and_feasibility() {
         let before_volume = plan.collected_volume();
         let before_energy = plan.total_energy(&s);
         let saved = uavdc::core::polish_plan(&mut plan, &s);
-        plan.validate(&s).unwrap_or_else(|e| panic!("{}: {e}", planner.name()));
+        plan.validate(&s)
+            .unwrap_or_else(|e| panic!("{}: {e}", planner.name()));
         // Stop reordering changes float summation order; compare within
         // tolerance.
         assert!(
@@ -113,7 +120,10 @@ fn periodic_campaign_with_real_planner_conserves_and_stabilises() {
         period: Seconds(1200.0),
         generation_rates: rates,
         buffer_capacity: Some(MegaBytes(2000.0)),
-        sim: SimConfig { record_uploads: false, ..SimConfig::default() },
+        sim: SimConfig {
+            record_uploads: false,
+            ..SimConfig::default()
+        },
     };
     let out = run_periodic(&s, &Alg2Planner::default(), &cfg);
     assert!(out.conserves_data());

@@ -21,7 +21,10 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
     vec![
         ("uniform", generator::uniform(&params, 11)),
         ("clustered", generator::clustered(&params, 4, 30.0, 12)),
-        ("two_tier", generator::two_tier(&params, 200, Meters(60.0), 13)),
+        (
+            "two_tier",
+            generator::two_tier(&params, 200, Meters(60.0), 13),
+        ),
     ]
 }
 
@@ -72,7 +75,10 @@ fn opportunistic_policy_never_collects_less() {
             let opp = simulate(
                 &scenario,
                 &plan,
-                &SimConfig { policy: CollectionPolicy::Opportunistic, ..SimConfig::default() },
+                &SimConfig {
+                    policy: CollectionPolicy::Opportunistic,
+                    ..SimConfig::default()
+                },
             );
             assert!(
                 opp.collected.value() >= strict.collected.value() - 1e-6,
