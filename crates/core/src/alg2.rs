@@ -28,6 +28,9 @@
 //! the candidate set is large.
 
 use crate::candidates::CandidateSet;
+use crate::greedy::{
+    self, DeviceIndex, EngineMode, EvalCounters, Fixup, InsertionCache, LazyHeap, PlanStats, Probe,
+};
 use crate::plan::{CollectionPlan, HoverStop};
 use crate::tourutil::{cheapest_insertion_point, christofides_order, closed_tour_length};
 use crate::Planner;
@@ -59,6 +62,11 @@ pub struct Alg2Config {
     /// Parallelise candidate evaluation above this candidate count
     /// (`usize::MAX` disables threading).
     pub parallel_threshold: usize,
+    /// Per-iteration evaluation strategy. [`EngineMode::Lazy`] (default)
+    /// applies only to [`TourMode::FastInsertion`];
+    /// [`TourMode::PaperChristofides`] always rescans exhaustively
+    /// because every candidate's Δtravel changes with each re-tour.
+    pub engine: EngineMode,
 }
 
 impl Default for Alg2Config {
@@ -68,6 +76,7 @@ impl Default for Alg2Config {
             tour_mode: TourMode::FastInsertion,
             prune_dominated: true,
             parallel_threshold: 4096,
+            engine: EngineMode::Lazy,
         }
     }
 }
@@ -209,14 +218,20 @@ impl<'a> GreedyState<'a> {
     }
 
     /// Commits the chosen candidate: collects its uncovered devices,
-    /// splices it into the tour, updates energies.
-    fn commit(&mut self, eval: Evaluation, mode: TourMode, eta_h: f64) {
+    /// splices it into the tour, updates energies. Returns the device ids
+    /// drained by this stop (the lazy engine's dirty seed). Does **not**
+    /// deactivate other exhausted candidates — the exhaustive path sweeps
+    /// with [`GreedyState::deactivate_exhausted`], the lazy path reaches
+    /// the same candidates through the device index.
+    fn commit(&mut self, eval: Evaluation, mode: TourMode, eta_h: f64) -> Vec<u32> {
         let cand = &self.candidates.candidates[eval.cand];
         let mut collected_here = Vec::new();
+        let mut drained = Vec::new();
         for &v in &cand.covered {
             if !self.collected[v as usize] {
                 self.collected[v as usize] = true;
                 collected_here.push((DeviceId(v), self.scenario.devices[v as usize].data));
+                drained.push(v);
             }
         }
         debug_assert!(!collected_here.is_empty());
@@ -243,7 +258,12 @@ impl<'a> GreedyState<'a> {
         self.tour_len = closed_tour_length(&self.tour_pts);
         self.hover_energy_total += eval.sojourn * eta_h;
         self.active[eval.cand] = false;
-        // Deactivate candidates that no longer cover anything new.
+        drained
+    }
+
+    /// Deactivates candidates that no longer cover anything uncollected
+    /// (full sweep; the exhaustive engine runs this after every commit).
+    fn deactivate_exhausted(&mut self) {
         for i in 0..self.candidates.len() {
             if self.active[i] {
                 let covered = &self.candidates.candidates[i].covered;
@@ -256,10 +276,11 @@ impl<'a> GreedyState<'a> {
 
     /// 2-opt compaction over (point, stop) pairs, reordering both in
     /// lockstep; compaction only shortens the tour, so feasibility is
-    /// preserved.
-    fn compact(&mut self) {
+    /// preserved. Returns whether the tour order actually changed (when
+    /// it did not, every cached insertion delta is still exact).
+    fn compact(&mut self) -> bool {
         if self.tour_pts.len() < 4 {
-            return;
+            return false;
         }
         let paired: Vec<(Point2, usize)> = self
             .tour_pts
@@ -267,10 +288,11 @@ impl<'a> GreedyState<'a> {
             .copied()
             .zip(self.stop_of.iter().copied())
             .collect();
-        let paired = two_opt_paired(paired);
+        let (paired, changed) = two_opt_paired(paired);
         self.tour_pts = paired.iter().map(|p| p.0).collect();
         self.stop_of = paired.iter().map(|p| p.1).collect();
         self.tour_len = closed_tour_length(&self.tour_pts);
+        changed
     }
 
     fn into_plan(self) -> CollectionPlan {
@@ -287,12 +309,14 @@ impl<'a> GreedyState<'a> {
 }
 
 /// 2-opt where each tour element carries a payload that must move with
-/// its point. Index 0 (depot) stays first.
-fn two_opt_paired(mut paired: Vec<(Point2, usize)>) -> Vec<(Point2, usize)> {
+/// its point. Index 0 (depot) stays first. Also reports whether any
+/// improving swap was applied.
+fn two_opt_paired(mut paired: Vec<(Point2, usize)>) -> (Vec<(Point2, usize)>, bool) {
     let n = paired.len();
     if n < 4 {
-        return paired;
+        return (paired, false);
     }
+    let mut changed = false;
     let mut improved = true;
     let mut sweeps = 0;
     while improved && sweeps < 100 {
@@ -309,11 +333,19 @@ fn two_opt_paired(mut paired: Vec<(Point2, usize)>) -> Vec<(Point2, usize)> {
                 if delta < -1e-10 {
                     paired[i + 1..=j].reverse();
                     improved = true;
+                    changed = true;
                 }
             }
         }
     }
-    paired
+    (paired, changed)
+}
+
+/// The exhaustive engines' ratio comparator (deterministic tie-break on
+/// candidate index).
+fn better(a: &Evaluation, b: &Evaluation) -> bool {
+    a.ratio > b.ratio + greedy::RATIO_BAND
+        || (a.ratio >= b.ratio - greedy::RATIO_BAND && a.cand < b.cand)
 }
 
 /// Finds the best evaluation over all candidates, optionally in parallel.
@@ -331,64 +363,292 @@ fn best_evaluation(
             TourMode::PaperChristofides => state.evaluate_christofides(c, capacity, eta_h, per_m),
         }
     };
-    let better = |a: &Evaluation, b: &Evaluation| -> bool {
-        // Deterministic tie-break on candidate index.
-        a.ratio > b.ratio + 1e-15 || (a.ratio >= b.ratio - 1e-15 && a.cand < b.cand)
-    };
     let n = state.candidates.len();
-    if n < parallel_threshold || mode == TourMode::PaperChristofides {
-        let mut best: Option<Evaluation> = None;
-        for c in 0..n {
-            if let Some(e) = eval_one(c) {
-                if best.as_ref().is_none_or(|b| better(&e, b)) {
-                    best = Some(e);
+    let parallel = n >= parallel_threshold && mode != TourMode::PaperChristofides;
+    greedy::chunked_argmax(n, parallel, eval_one, better)
+}
+
+/// Runs the exhaustive greedy loop (full rescan per iteration) to
+/// completion, counting iterations as it goes.
+fn run_exhaustive(
+    state: &mut GreedyState<'_>,
+    config: &Alg2Config,
+    eta_h: f64,
+    counters: &mut EvalCounters,
+) {
+    let mut since_compact = 0;
+    loop {
+        counters.iterations += 1;
+        counters.marginal_evals += state.candidates.len() as u64;
+        counters.evaluations += state.candidates.len() as u64;
+        let Some(eval) = best_evaluation(state, config.tour_mode, config.parallel_threshold) else {
+            break;
+        };
+        state.commit(eval, config.tour_mode, eta_h);
+        state.deactivate_exhausted();
+        since_compact += 1;
+        if config.tour_mode == TourMode::FastInsertion && since_compact >= 8 {
+            state.compact();
+            since_compact = 0;
+        }
+    }
+    if config.tour_mode == TourMode::FastInsertion {
+        state.compact();
+    }
+}
+
+/// Runs the lazy greedy loop: inverted-index dirty invalidation, exact
+/// insertion-cache repair, CELF-style heap selection. Produces the same
+/// state evolution — and therefore the same plan — as
+/// [`run_exhaustive`] with [`TourMode::FastInsertion`] (property-tested
+/// in `tests/lazy_equivalence.rs`; the identical-output argument is in
+/// DESIGN.md §8).
+fn run_lazy(
+    state: &mut GreedyState<'_>,
+    config: &Alg2Config,
+    eta_h: f64,
+    counters: &mut EvalCounters,
+) {
+    let scenario = state.scenario;
+    let capacity = scenario.uav.capacity.value();
+    let per_m = scenario.uav.travel_energy_per_meter().value();
+    let m = state.candidates.len();
+    let parallel_threshold = config.parallel_threshold;
+
+    let index = DeviceIndex::build(state.candidates, scenario.num_devices());
+    let mut cache_vol = vec![0.0f64; m];
+    let mut cache_t = vec![0.0f64; m];
+    let mut ins = InsertionCache::new(m);
+    let mut heap = LazyHeap::new(m);
+
+    // The engine's one ratio formula — must stay bit-identical to
+    // `evaluate_insertion` (same ops in the same order on the same
+    // cached operands).
+    let ratio_of = |vol: f64, t: f64, delta: f64| -> f64 {
+        let extra = t * eta_h + delta * per_m;
+        vol / extra.max(1e-12)
+    };
+
+    // Initial full evaluation of every candidate (parallel when large).
+    let all: Vec<u32> = (0..m as u32).collect();
+    let evals = greedy::chunked_map(&all, parallel_threshold, |&c| {
+        let (vol, t) = state.marginal(c as usize);
+        if vol <= 0.0 {
+            (vol, t, 0.0, usize::MAX)
+        } else {
+            let (delta, pos) = cheapest_insertion_point(
+                &state.tour_pts,
+                state.candidates.candidates[c as usize].pos,
+            );
+            (vol, t, delta, pos)
+        }
+    });
+    counters.marginal_evals += m as u64;
+    counters.evaluations += m as u64;
+    for (c, &(vol, t, delta, pos)) in evals.iter().enumerate() {
+        cache_vol[c] = vol;
+        cache_t[c] = t;
+        if vol <= 0.0 {
+            state.active[c] = false;
+        } else {
+            ins.set(c, delta, pos);
+            heap.push(c, ratio_of(vol, t, delta));
+        }
+    }
+
+    let mut stamp = vec![0u32; m];
+    let mut epoch = 0u32;
+    let mut dirty: Vec<u32> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    let mut rescan: Vec<u32> = Vec::new();
+    let mut since_compact = 0;
+    loop {
+        counters.iterations += 1;
+        let mut pops = 0u64;
+        let selected = heap.select(
+            |c| state.active[c],
+            |c| {
+                // Caches are exact; only feasibility depends on the
+                // running totals. Mirrors `evaluate_insertion` bit for
+                // bit (infeasible ⇔ it would return `None`).
+                let t = cache_t[c];
+                let (delta, _) = ins.get(c).unwrap_or((0.0, 0));
+                let total = state.hover_energy_total + t * eta_h + (state.tour_len + delta) * per_m;
+                if total > capacity {
+                    Probe::Infeasible
+                } else {
+                    Probe::Feasible(ratio_of(cache_vol[c], t, delta))
+                }
+            },
+            &mut pops,
+        );
+        counters.heap_pops += pops;
+        let Some((winner, ratio)) = selected else {
+            break;
+        };
+        // Canonical insertion position for the winner (the cache may
+        // name a different edge of equal delta).
+        let pos =
+            cheapest_insertion_point(&state.tour_pts, state.candidates.candidates[winner].pos).1;
+        let eval = Evaluation {
+            cand: winner,
+            ratio,
+            sojourn: cache_t[winner],
+            insert_pos: pos,
+        };
+        let drained = state.commit(eval, TourMode::FastInsertion, eta_h);
+        since_compact += 1;
+
+        // Repair every active candidate's cached insertion delta in
+        // O(1); collect the ones whose argmin edge was destroyed.
+        touched.clear();
+        rescan.clear();
+        for c in 0..m {
+            if !state.active[c] {
+                continue;
+            }
+            counters.fixups += 1;
+            match ins.apply_insertion(c, state.candidates.candidates[c].pos, &state.tour_pts, pos) {
+                Fixup::Unchanged => {}
+                Fixup::Improved => touched.push(c as u32),
+                Fixup::Invalidated => rescan.push(c as u32),
+            }
+        }
+
+        // Re-evaluate the marginal reward of candidates sharing a
+        // drained device; fully-drained ones deactivate (the exhaustive
+        // sweep would catch exactly these this iteration).
+        epoch = epoch.wrapping_add(1);
+        index.dirty_candidates(drained.iter().copied(), &mut stamp, epoch, &mut dirty);
+        for &c in &dirty {
+            let c = c as usize;
+            if !state.active[c] {
+                continue;
+            }
+            counters.marginal_evals += 1;
+            counters.evaluations += 1;
+            let (vol, t) = state.marginal(c);
+            cache_vol[c] = vol;
+            cache_t[c] = t;
+            if vol <= 0.0 {
+                state.active[c] = false;
+            } else {
+                touched.push(c as u32);
+            }
+        }
+
+        // Rescan destroyed insertion deltas as one (possibly parallel)
+        // dirty batch.
+        rescan.retain(|&c| state.active[c as usize]);
+        if !rescan.is_empty() {
+            counters.delta_rescans += rescan.len() as u64;
+            counters.evaluations += rescan.len() as u64;
+            let fresh = greedy::chunked_map(&rescan, parallel_threshold, |&c| {
+                cheapest_insertion_point(
+                    &state.tour_pts,
+                    state.candidates.candidates[c as usize].pos,
+                )
+            });
+            for (&c, &(delta, p)) in rescan.iter().zip(&fresh) {
+                ins.set(c as usize, delta, p);
+                touched.push(c);
+            }
+        }
+
+        // Publish fresh heap entries for every candidate whose caches
+        // changed (this is also what lets a parked candidate re-enter
+        // contention when its own cost shrank).
+        touched.sort_unstable();
+        touched.dedup();
+        for &c in &touched {
+            let c = c as usize;
+            if state.active[c] {
+                if let Some((delta, _)) = ins.get(c) {
+                    heap.push(c, ratio_of(cache_vol[c], cache_t[c], delta));
                 }
             }
         }
-        return best;
-    }
-    // Parallel: chunk the candidate range over scoped threads.
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(16);
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<Evaluation>> = vec![None; threads];
-    crossbeam::thread::scope(|scope| {
-        for (t, slot) in results.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let state_ref = &state;
-            scope.spawn(move |_| {
-                let mut best: Option<Evaluation> = None;
-                for c in lo..hi {
-                    let e = match mode {
-                        TourMode::FastInsertion => {
-                            state_ref.evaluate_insertion(c, capacity, eta_h, per_m)
-                        }
-                        TourMode::PaperChristofides => {
-                            state_ref.evaluate_christofides(c, capacity, eta_h, per_m)
-                        }
-                    };
-                    if let Some(e) = e {
-                        if best.as_ref().is_none_or(|b| better(&e, b)) {
-                            best = Some(e);
-                        }
-                    }
+
+        // Periodic 2-opt compaction. When the tour actually changed,
+        // every cached delta is stale and battery slack may have grown:
+        // rescan all active candidates and return parked ones to
+        // contention.
+        if since_compact >= 8 {
+            if state.compact() {
+                let alive: Vec<u32> = (0..m as u32)
+                    .filter(|&c| state.active[c as usize])
+                    .collect();
+                counters.delta_rescans += alive.len() as u64;
+                counters.evaluations += alive.len() as u64;
+                let fresh = greedy::chunked_map(&alive, parallel_threshold, |&c| {
+                    cheapest_insertion_point(
+                        &state.tour_pts,
+                        state.candidates.candidates[c as usize].pos,
+                    )
+                });
+                for (&c, &(delta, p)) in alive.iter().zip(&fresh) {
+                    ins.set(c as usize, delta, p);
+                    heap.push(
+                        c as usize,
+                        ratio_of(cache_vol[c as usize], cache_t[c as usize], delta),
+                    );
                 }
-                *slot = best;
-            });
+                heap.unpark_all();
+            }
+            since_compact = 0;
         }
-    })
-    // lint:allow(panic-site): Err only when a worker thread panicked; re-raising is correct
-    .expect("candidate evaluation thread panicked");
-    results
-        .into_iter()
-        .flatten()
-        .fold(None, |acc, e| match acc {
-            None => Some(e),
-            Some(b) => Some(if better(&e, &b) { e } else { b }),
-        })
+    }
+    state.compact();
+}
+
+impl Alg2Planner {
+    /// Plans and returns the work/timing breakdown alongside the plan
+    /// (consumed by the `planner_baseline` perf harness).
+    pub fn plan_with_stats(&self, scenario: &Scenario) -> (CollectionPlan, PlanStats) {
+        let setup_start = std::time::Instant::now();
+        let mut candidates = CandidateSet::build(scenario, self.config.delta);
+        if self.config.prune_dominated {
+            candidates.prune_dominated();
+        }
+        let engine = match self.config.tour_mode {
+            TourMode::FastInsertion => self.config.engine,
+            // Christofides re-touring invalidates every Δtravel each
+            // iteration; there is nothing for the lazy engine to cache.
+            TourMode::PaperChristofides => EngineMode::Exhaustive,
+        };
+        let mut stats = PlanStats {
+            engine,
+            counters: EvalCounters {
+                candidates: candidates.len(),
+                ..EvalCounters::default()
+            },
+            setup_ns: 0,
+            loop_ns: 0,
+        };
+        if candidates.is_empty() {
+            stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+            return (CollectionPlan::empty(), stats);
+        }
+        let mut state = GreedyState::new(scenario, &candidates);
+        let eta_h = scenario.uav.hover_power.value();
+        stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+        let loop_start = std::time::Instant::now();
+        match engine {
+            EngineMode::Lazy => run_lazy(&mut state, &self.config, eta_h, &mut stats.counters),
+            EngineMode::Exhaustive => {
+                run_exhaustive(&mut state, &self.config, eta_h, &mut stats.counters)
+            }
+        }
+        stats.loop_ns = loop_start.elapsed().as_nanos() as u64;
+        let plan = state.into_plan();
+        crate::validate::debug_check_plan(
+            "Alg2Planner",
+            scenario,
+            &plan,
+            crate::validate::Profile::P2FullOverlap,
+        );
+        (plan, stats)
+    }
 }
 
 impl Planner for Alg2Planner {
@@ -400,42 +660,7 @@ impl Planner for Alg2Planner {
     }
 
     fn plan(&self, scenario: &Scenario) -> CollectionPlan {
-        let mut candidates = CandidateSet::build(scenario, self.config.delta);
-        if self.config.prune_dominated {
-            candidates.prune_dominated();
-        }
-        if candidates.is_empty() {
-            return CollectionPlan::empty();
-        }
-        let mut state = GreedyState::new(scenario, &candidates);
-        let mut since_compact = 0;
-        while let Some(eval) = best_evaluation(
-            &state,
-            self.config.tour_mode,
-            self.config.parallel_threshold,
-        ) {
-            state.commit(
-                eval,
-                self.config.tour_mode,
-                scenario.uav.hover_power.value(),
-            );
-            since_compact += 1;
-            if self.config.tour_mode == TourMode::FastInsertion && since_compact >= 8 {
-                state.compact();
-                since_compact = 0;
-            }
-        }
-        if self.config.tour_mode == TourMode::FastInsertion {
-            state.compact();
-        }
-        let plan = state.into_plan();
-        crate::validate::debug_check_plan(
-            "Alg2Planner",
-            scenario,
-            &plan,
-            crate::validate::Profile::P2FullOverlap,
-        );
-        plan
+        self.plan_with_stats(scenario).0
     }
 }
 

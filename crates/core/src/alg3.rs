@@ -17,6 +17,9 @@
 //!   (the pseudocode's lines 11–12).
 
 use crate::candidates::CandidateSet;
+use crate::greedy::{
+    self, DeviceIndex, EngineMode, EvalCounters, Fixup, InsertionCache, LazyHeap, PlanStats, Probe,
+};
 use crate::plan::{CollectionPlan, HoverStop};
 use crate::tourutil::{cheapest_insertion_point, closed_tour_length};
 use crate::Planner;
@@ -36,6 +39,8 @@ pub struct Alg3Config {
     pub prune_dominated: bool,
     /// Parallelise candidate evaluation above this candidate count.
     pub parallel_threshold: usize,
+    /// Per-iteration evaluation strategy ([`EngineMode::Lazy`] default).
+    pub engine: EngineMode,
 }
 
 impl Default for Alg3Config {
@@ -45,6 +50,7 @@ impl Default for Alg3Config {
             k: 2,
             prune_dominated: true,
             parallel_threshold: 4096,
+            engine: EngineMode::Lazy,
         }
     }
 }
@@ -176,10 +182,17 @@ impl<'a> PartialState<'a> {
         best
     }
 
-    fn commit(&mut self, eval: VirtualEval, eta_h: f64) -> f64 {
+    /// Commits the chosen virtual location. Returns the volume collected,
+    /// the drained device ids (the lazy engine's dirty seed), and the
+    /// tour position the stop was inserted at (`None` when an existing
+    /// stop's sojourn was extended — the tour is untouched then). Does
+    /// **not** deactivate exhausted candidates; see
+    /// [`PartialState::deactivate_exhausted`].
+    fn commit(&mut self, eval: VirtualEval, eta_h: f64) -> (f64, Vec<u32>, Option<usize>) {
         let b = self.scenario.radio.bandwidth.value();
         let covered = &self.candidates.candidates[eval.cand].covered;
         let mut entries = Vec::new();
+        let mut drained = Vec::new();
         let mut collected_now = 0.0;
         for &v in covered {
             let amount = self.residual[v as usize].min(b * eval.tau);
@@ -187,10 +200,12 @@ impl<'a> PartialState<'a> {
                 self.residual[v as usize] -= amount;
                 entries.push((DeviceId(v), MegaBytes(amount)));
                 collected_now += amount;
+                drained.push(v);
             }
         }
         debug_assert!(collected_now > 0.0);
         let existing = self.stop_of_candidate[eval.cand];
+        let mut inserted_at = None;
         if existing != usize::MAX {
             // Extend the sojourn of the existing stop (Lemma 2).
             let stop = &mut self.stops[existing];
@@ -208,9 +223,15 @@ impl<'a> PartialState<'a> {
             self.tour_pts.insert(eval.insert_pos, pos);
             self.stop_of.insert(eval.insert_pos, idx);
             self.tour_len = closed_tour_length(&self.tour_pts);
+            inserted_at = Some(eval.insert_pos);
         }
         self.hover_energy_total += eval.tau * eta_h;
-        // Deactivate exhausted candidates.
+        (collected_now, drained, inserted_at)
+    }
+
+    /// Deactivates candidates whose covered devices are all exhausted
+    /// (full sweep; the exhaustive engine runs this after every commit).
+    fn deactivate_exhausted(&mut self) {
         for i in 0..self.candidates.len() {
             if self.active[i] {
                 let cov = &self.candidates.candidates[i].covered;
@@ -219,7 +240,15 @@ impl<'a> PartialState<'a> {
                 }
             }
         }
-        collected_now
+    }
+
+    /// Whether candidate `c`'s covered devices are all exhausted (the
+    /// per-candidate form of the deactivation sweep).
+    fn is_exhausted(&self, c: usize) -> bool {
+        self.candidates.candidates[c]
+            .covered
+            .iter()
+            .all(|&v| self.residual[v as usize] <= 1e-9)
     }
 
     fn into_plan(self) -> CollectionPlan {
@@ -234,6 +263,13 @@ impl<'a> PartialState<'a> {
     }
 }
 
+/// The exhaustive engine's ratio comparator (deterministic tie-break on
+/// candidate index).
+fn better(a: &VirtualEval, b: &VirtualEval) -> bool {
+    a.ratio > b.ratio + greedy::RATIO_BAND
+        || (a.ratio >= b.ratio - greedy::RATIO_BAND && a.cand < b.cand)
+}
+
 fn best_virtual(
     state: &PartialState<'_>,
     k_parts: usize,
@@ -242,69 +278,330 @@ fn best_virtual(
     let capacity = state.scenario.uav.capacity.value();
     let eta_h = state.scenario.uav.hover_power.value();
     let per_m = state.scenario.uav.travel_energy_per_meter().value();
-    let better = |a: &VirtualEval, b: &VirtualEval| -> bool {
-        a.ratio > b.ratio + 1e-15 || (a.ratio >= b.ratio - 1e-15 && a.cand < b.cand)
-    };
     let n = state.candidates.len();
-    if n < parallel_threshold {
-        let mut best: Option<VirtualEval> = None;
-        for c in 0..n {
-            if let Some(e) = state.evaluate(c, k_parts, capacity, eta_h, per_m) {
-                if best.as_ref().is_none_or(|b| better(&e, b)) {
-                    best = Some(e);
+    greedy::chunked_argmax(
+        n,
+        n >= parallel_threshold,
+        |c| state.evaluate(c, k_parts, capacity, eta_h, per_m),
+        better,
+    )
+}
+
+/// Scenario power constants threaded through the cached evaluators.
+#[derive(Clone, Copy)]
+struct Power {
+    capacity: f64,
+    eta_h: f64,
+    per_m: f64,
+}
+
+/// Best virtual location of candidate `c` from the *cached* per-k
+/// marginals, mirroring [`PartialState::evaluate`] bit for bit. With
+/// `feasible_only` the battery filter applies (selection); without it the
+/// result is the heap's upper-bound key — valid because the feasible k
+/// subset only shrinks between cache refreshes (the tour never shortens
+/// in Algorithm 3). Returns `(ratio, tau)`.
+#[allow(clippy::too_many_arguments)]
+fn cached_best_k(
+    st: &PartialState<'_>,
+    ins: &InsertionCache,
+    t_full: &[f64],
+    tau: &[f64],
+    vol: &[f64],
+    kp: usize,
+    c: usize,
+    power: Power,
+    feasible_only: bool,
+) -> Option<(f64, f64)> {
+    if t_full[c] <= 0.0 {
+        return None;
+    }
+    let on_tour = st.stop_of_candidate[c] != usize::MAX;
+    let delta_len = if on_tour { 0.0 } else { ins.get(c)?.0 };
+    let travel_extra = delta_len * power.per_m;
+    let mut best: Option<(f64, f64)> = None;
+    for k in 0..kp {
+        let tk = tau[c * kp + k];
+        let vk = vol[c * kp + k];
+        if vk <= 1e-9 {
+            continue;
+        }
+        let hover_extra = tk * power.eta_h;
+        if feasible_only {
+            let total =
+                st.hover_energy_total + hover_extra + (st.tour_len + delta_len) * power.per_m;
+            if total > power.capacity {
+                continue;
+            }
+        }
+        let ratio = vk / (hover_extra + travel_extra).max(1e-12);
+        if best.is_none_or(|(r, _)| ratio > r) {
+            best = Some((ratio, tk));
+        }
+    }
+    best
+}
+
+/// Runs the exhaustive greedy loop (full rescan per iteration).
+fn run_exhaustive(
+    state: &mut PartialState<'_>,
+    config: &Alg3Config,
+    eta_h: f64,
+    max_iters: usize,
+    counters: &mut EvalCounters,
+) {
+    for _ in 0..max_iters {
+        counters.iterations += 1;
+        counters.marginal_evals += state.candidates.len() as u64;
+        counters.evaluations += state.candidates.len() as u64;
+        match best_virtual(state, config.k, config.parallel_threshold) {
+            Some(eval) => {
+                let (got, _, _) = state.commit(eval, eta_h);
+                state.deactivate_exhausted();
+                if got <= 1e-9 {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Runs the lazy greedy loop over virtual locations. Caches `t_full` and
+/// the per-k `(τ, volume)` arrays per candidate (refreshed when a shared
+/// device drains), the cheapest-insertion delta (repaired in O(1) per
+/// tour insertion; sojourn extensions leave the tour untouched), and
+/// selects through the CELF heap whose keys are the unconditional max-k
+/// ratios — exact upper bounds that [`Probe::Feasible`] decays as the
+/// battery filters out deeper sojourns. Produces the same plans as
+/// [`run_exhaustive`] (property-tested; DESIGN.md §8).
+fn run_lazy(
+    state: &mut PartialState<'_>,
+    config: &Alg3Config,
+    eta_h: f64,
+    max_iters: usize,
+    counters: &mut EvalCounters,
+) {
+    let scenario = state.scenario;
+    let power = Power {
+        capacity: scenario.uav.capacity.value(),
+        eta_h,
+        per_m: scenario.uav.travel_energy_per_meter().value(),
+    };
+    let b = scenario.radio.bandwidth.value();
+    let m = state.candidates.len();
+    let kp = config.k;
+    let parallel_threshold = config.parallel_threshold;
+
+    let index = DeviceIndex::build(state.candidates, scenario.num_devices());
+    let mut t_full = vec![0.0f64; m];
+    let mut tau = vec![0.0f64; m * kp];
+    let mut vol = vec![0.0f64; m * kp];
+    let mut ins = InsertionCache::new(m);
+    let mut heap = LazyHeap::new(m);
+
+    // Mirrors the t_full / per-k (τ, vol) loops of
+    // `PartialState::evaluate` exactly (same iteration order, same ops).
+    let eval_marginal = |st: &PartialState<'_>, c: usize| -> (f64, Vec<f64>, Vec<f64>) {
+        let covered = &st.candidates.candidates[c].covered;
+        let mut tf = 0.0f64;
+        for &v in covered {
+            tf = tf.max(st.residual[v as usize] / b);
+        }
+        let mut taus = vec![0.0f64; kp];
+        let mut vols = vec![0.0f64; kp];
+        if tf > 0.0 {
+            for k in 1..=kp {
+                let t = tf * (k as f64) / (kp as f64);
+                taus[k - 1] = t;
+                vols[k - 1] = covered
+                    .iter()
+                    .map(|&v| st.residual[v as usize].min(b * t))
+                    .sum();
+            }
+        }
+        (tf, taus, vols)
+    };
+
+    // Initial full evaluation (parallel when large).
+    let all: Vec<u32> = (0..m as u32).collect();
+    let marginals = greedy::chunked_map(&all, parallel_threshold, |&c| {
+        eval_marginal(state, c as usize)
+    });
+    let deltas = greedy::chunked_map(&all, parallel_threshold, |&c| {
+        cheapest_insertion_point(&state.tour_pts, state.candidates.candidates[c as usize].pos)
+    });
+    counters.marginal_evals += m as u64;
+    counters.evaluations += m as u64;
+    // Candidates already exhausted at the start: the exhaustive sweep
+    // only deactivates them *after* the first commit, so record them now
+    // and deactivate at the same point.
+    let mut init_exhausted: Vec<u32> = Vec::new();
+    for (c, (tf, taus, vols)) in marginals.into_iter().enumerate() {
+        t_full[c] = tf;
+        tau[c * kp..(c + 1) * kp].copy_from_slice(&taus);
+        vol[c * kp..(c + 1) * kp].copy_from_slice(&vols);
+        ins.set(c, deltas[c].0, deltas[c].1);
+        if state.is_exhausted(c) {
+            init_exhausted.push(c as u32);
+        }
+        if let Some((key, _)) = cached_best_k(state, &ins, &t_full, &tau, &vol, kp, c, power, false)
+        {
+            heap.push(c, key);
+        }
+    }
+
+    let mut stamp = vec![0u32; m];
+    let mut epoch = 0u32;
+    let mut dirty: Vec<u32> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    let mut rescan: Vec<u32> = Vec::new();
+    let mut first_commit_done = false;
+    for _ in 0..max_iters {
+        counters.iterations += 1;
+        let mut pops = 0u64;
+        let selected = heap.select(
+            |c| state.active[c],
+            |c| match cached_best_k(state, &ins, &t_full, &tau, &vol, kp, c, power, true) {
+                None => Probe::Infeasible,
+                Some((ratio, _)) => Probe::Feasible(ratio),
+            },
+            &mut pops,
+        );
+        counters.heap_pops += pops;
+        let Some((winner, ratio)) = selected else {
+            break;
+        };
+        let Some((_, wtau)) =
+            cached_best_k(state, &ins, &t_full, &tau, &vol, kp, winner, power, true)
+        else {
+            break; // unreachable: the probe just reported it feasible
+        };
+        let on_tour = state.stop_of_candidate[winner] != usize::MAX;
+        let insert_pos = if on_tour {
+            usize::MAX
+        } else {
+            // Canonical position (the cache may name an equal-delta edge).
+            cheapest_insertion_point(&state.tour_pts, state.candidates.candidates[winner].pos).1
+        };
+        let eval = VirtualEval {
+            cand: winner,
+            tau: wtau,
+            ratio,
+            insert_pos,
+        };
+        let (got, drained, inserted_at) = state.commit(eval, eta_h);
+        if got <= 1e-9 {
+            break;
+        }
+
+        // Repair cached insertion deltas when the tour gained a vertex
+        // (sojourn extensions leave every delta exact).
+        touched.clear();
+        rescan.clear();
+        if let Some(ins_pos) = inserted_at {
+            for c in 0..m {
+                if !state.active[c] || state.stop_of_candidate[c] != usize::MAX {
+                    continue;
+                }
+                counters.fixups += 1;
+                match ins.apply_insertion(
+                    c,
+                    state.candidates.candidates[c].pos,
+                    &state.tour_pts,
+                    ins_pos,
+                ) {
+                    Fixup::Unchanged => {}
+                    Fixup::Improved => touched.push(c as u32),
+                    Fixup::Invalidated => rescan.push(c as u32),
                 }
             }
         }
-        return best;
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(16);
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<VirtualEval>> = vec![None; threads];
-    crossbeam::thread::scope(|scope| {
-        for (t, slot) in results.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let state_ref = &state;
-            scope.spawn(move |_| {
-                let mut best: Option<VirtualEval> = None;
-                for c in lo..hi {
-                    if let Some(e) = state_ref.evaluate(c, k_parts, capacity, eta_h, per_m) {
-                        if best.as_ref().is_none_or(|b| better(&e, b)) {
-                            best = Some(e);
-                        }
-                    }
-                }
-                *slot = best;
-            });
+
+        // Refresh marginals of candidates sharing a drained device.
+        epoch = epoch.wrapping_add(1);
+        index.dirty_candidates(drained.iter().copied(), &mut stamp, epoch, &mut dirty);
+        for &c in &dirty {
+            let c = c as usize;
+            if !state.active[c] {
+                continue;
+            }
+            counters.marginal_evals += 1;
+            counters.evaluations += 1;
+            let (tf, taus, vols) = eval_marginal(state, c);
+            t_full[c] = tf;
+            tau[c * kp..(c + 1) * kp].copy_from_slice(&taus);
+            vol[c * kp..(c + 1) * kp].copy_from_slice(&vols);
+            if state.is_exhausted(c) {
+                state.active[c] = false;
+            } else {
+                touched.push(c as u32);
+            }
         }
-    })
-    // lint:allow(panic-site): Err only when a worker thread panicked; re-raising is correct
-    .expect("candidate evaluation thread panicked");
-    results
-        .into_iter()
-        .flatten()
-        .fold(None, |acc, e| match acc {
-            None => Some(e),
-            Some(b) => Some(if better(&e, &b) { e } else { b }),
-        })
+        if !first_commit_done {
+            for &c in &init_exhausted {
+                state.active[c as usize] = false;
+            }
+            first_commit_done = true;
+        }
+
+        // Rescan destroyed insertion deltas as one dirty batch.
+        rescan.retain(|&c| state.active[c as usize]);
+        if !rescan.is_empty() {
+            counters.delta_rescans += rescan.len() as u64;
+            counters.evaluations += rescan.len() as u64;
+            let fresh = greedy::chunked_map(&rescan, parallel_threshold, |&c| {
+                cheapest_insertion_point(
+                    &state.tour_pts,
+                    state.candidates.candidates[c as usize].pos,
+                )
+            });
+            for (&c, &(d, p)) in rescan.iter().zip(&fresh) {
+                ins.set(c as usize, d, p);
+                touched.push(c);
+            }
+        }
+
+        // Publish fresh heap keys for every candidate whose caches
+        // changed (also how a parked candidate re-enters contention).
+        touched.sort_unstable();
+        touched.dedup();
+        for &c in &touched {
+            let c = c as usize;
+            if !state.active[c] {
+                continue;
+            }
+            if let Some((key, _)) =
+                cached_best_k(state, &ins, &t_full, &tau, &vol, kp, c, power, false)
+            {
+                heap.push(c, key);
+            }
+        }
+    }
 }
 
-impl Planner for Alg3Planner {
-    fn name(&self) -> &'static str {
-        "Algorithm 3 (partial collection)"
-    }
-
-    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
+impl Alg3Planner {
+    /// Plans and returns the work/timing breakdown alongside the plan
+    /// (consumed by the `planner_baseline` perf harness).
+    pub fn plan_with_stats(&self, scenario: &Scenario) -> (CollectionPlan, PlanStats) {
         assert!(self.config.k >= 1, "K must be at least 1");
+        let setup_start = std::time::Instant::now();
         let mut candidates = CandidateSet::build(scenario, self.config.delta);
         if self.config.prune_dominated {
             candidates.prune_dominated();
         }
+        let mut stats = PlanStats {
+            engine: self.config.engine,
+            counters: EvalCounters {
+                candidates: candidates.len(),
+                ..EvalCounters::default()
+            },
+            setup_ns: 0,
+            loop_ns: 0,
+        };
         if candidates.is_empty() {
-            return CollectionPlan::empty();
+            stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+            return (CollectionPlan::empty(), stats);
         }
         let mut state = PartialState::new(scenario, &candidates);
         // Each commit either exhausts at least one virtual step of one
@@ -315,17 +612,26 @@ impl Planner for Alg3Planner {
             .saturating_mul(self.config.k)
             .saturating_mul(4)
             + 64;
-        for _ in 0..max_iters {
-            match best_virtual(&state, self.config.k, self.config.parallel_threshold) {
-                Some(eval) => {
-                    let got = state.commit(eval, scenario.uav.hover_power.value());
-                    if got <= 1e-9 {
-                        break;
-                    }
-                }
-                None => break,
-            }
+        let eta_h = scenario.uav.hover_power.value();
+        stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+        let loop_start = std::time::Instant::now();
+        match self.config.engine {
+            EngineMode::Lazy => run_lazy(
+                &mut state,
+                &self.config,
+                eta_h,
+                max_iters,
+                &mut stats.counters,
+            ),
+            EngineMode::Exhaustive => run_exhaustive(
+                &mut state,
+                &self.config,
+                eta_h,
+                max_iters,
+                &mut stats.counters,
+            ),
         }
+        stats.loop_ns = loop_start.elapsed().as_nanos() as u64;
         let plan = state.into_plan();
         crate::validate::debug_check_plan(
             "Alg3Planner",
@@ -333,7 +639,17 @@ impl Planner for Alg3Planner {
             &plan,
             crate::validate::Profile::P3Partial,
         );
-        plan
+        (plan, stats)
+    }
+}
+
+impl Planner for Alg3Planner {
+    fn name(&self) -> &'static str {
+        "Algorithm 3 (partial collection)"
+    }
+
+    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
+        self.plan_with_stats(scenario).0
     }
 }
 

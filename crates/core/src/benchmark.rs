@@ -14,6 +14,7 @@
 //! *marginal* data loss of removing a stop: data nobody else on the tour
 //! still covers.
 
+use crate::greedy::{EngineMode, EvalCounters, PlanStats};
 use crate::plan::{CollectionPlan, HoverStop};
 use crate::tourutil::{apply_order, christofides_order, closed_tour_length, removal_delta};
 use crate::Planner;
@@ -21,7 +22,9 @@ use uavdc_geom::{Point2, SpatialGrid};
 use uavdc_net::units::Seconds;
 use uavdc_net::{DeviceId, Scenario};
 
-/// The benchmark planner (no configuration).
+/// The benchmark planner (no configuration; [`Planner::plan`] uses the
+/// incremental pruning engine, [`BenchmarkPlanner::plan_with_stats`]
+/// selects the engine explicitly).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BenchmarkPlanner;
 
@@ -64,20 +67,222 @@ impl<'a> PruneState<'a> {
     }
 }
 
-impl Planner for BenchmarkPlanner {
-    fn name(&self) -> &'static str {
-        "Benchmark (Christofides + prune)"
-    }
-
-    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
-        let n = scenario.num_devices();
-        if n == 0 {
-            return CollectionPlan::empty();
+/// One pruning pass with a full rescan per iteration (the reference the
+/// incremental engine is validated against).
+fn prune_exhaustive(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
+    let scenario = state.scenario;
+    let n = scenario.num_devices();
+    let eta_h = scenario.uav.hover_power.value();
+    let per_m = scenario.uav.travel_energy_per_meter().value();
+    let capacity = scenario.uav.capacity.value();
+    loop {
+        counters.iterations += 1;
+        let (_, hover_s, hover_energy) = state.assignments();
+        let tour_len = closed_tour_length(&state.pts);
+        if hover_energy + tour_len * per_m <= capacity || state.pts.len() <= 1 {
+            break;
         }
-        let eta_h = scenario.uav.hover_power.value();
-        let per_m = scenario.uav.travel_energy_per_meter().value();
-        let capacity = scenario.uav.capacity.value();
-        let b = scenario.radio.bandwidth.value();
+        counters.marginal_evals += (state.pts.len() - 1) as u64;
+        counters.evaluations += (state.pts.len() - 1) as u64;
+        // Marginal data loss of removing stop i: the data of devices
+        // assigned to i that no other remaining stop covers.
+        let mut covering_stops = vec![0u32; n];
+        #[allow(clippy::needless_range_loop)] // several arrays indexed by i
+        for i in 1..state.pts.len() {
+            for &v in &state.coverage[state.dev_of[i]] {
+                covering_stops[v as usize] += 1;
+            }
+        }
+        let mut best_idx = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)] // several arrays indexed by i
+        for i in 1..state.pts.len() {
+            let dev = state.dev_of[i];
+            let lost: f64 = state.coverage[dev]
+                .iter()
+                .filter(|&&v| covering_stops[v as usize] == 1)
+                .map(|&v| scenario.devices[v as usize].data.value())
+                .sum();
+            let saved = removal_delta(&state.pts, i) * per_m + hover_s[i] * eta_h;
+            let ratio = lost / saved.max(1e-12);
+            if ratio < best_ratio {
+                best_ratio = ratio;
+                best_idx = i;
+            }
+        }
+        if best_idx == usize::MAX {
+            break;
+        }
+        state.pts.remove(best_idx);
+        state.dev_of.remove(best_idx);
+    }
+}
+
+/// Incremental pruning: maintains per-device covering-stop counts, the
+/// first-covering-stop assignment, per-stop hover seconds, and cached
+/// per-stop `lost` sums across removals, so each iteration recomputes
+/// only the stops a removal actually touched. The argmin itself stays the
+/// exhaustive pass's plain ascending strict-`<` fold over O(|tour|)
+/// cached values, and every cached quantity is kept bit-identical to the
+/// full rescan (same filtered coverage-order sums, max-merged hover
+/// times, fresh O(|tour|) energy totals per iteration), so the removal
+/// sequence — and the final plan — matches [`prune_exhaustive`] exactly
+/// (property-tested; DESIGN.md §8).
+fn prune_lazy(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
+    let scenario = state.scenario;
+    let n = scenario.num_devices();
+    let eta_h = scenario.uav.hover_power.value();
+    let per_m = scenario.uav.travel_energy_per_meter().value();
+    let capacity = scenario.uav.capacity.value();
+    let b = scenario.radio.bandwidth.value();
+    let len0 = state.pts.len();
+
+    // Tour position of each device's own stop (`usize::MAX` once pruned).
+    let mut device_pos: Vec<usize> = vec![usize::MAX; n];
+    for i in 1..len0 {
+        device_pos[state.dev_of[i]] = i;
+    }
+    // Number of on-tour stops covering each device.
+    let mut covering_stops = vec![0u32; n];
+    for i in 1..len0 {
+        for &v in &state.coverage[state.dev_of[i]] {
+            covering_stops[v as usize] += 1;
+        }
+    }
+    // First-covering-stop assignment (same sweep as `assignments`).
+    let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); len0];
+    let mut hover_s: Vec<f64> = vec![0.0; len0];
+    {
+        let mut taken = vec![false; n];
+        for i in 1..len0 {
+            let mut t = 0.0f64;
+            for &v in &state.coverage[state.dev_of[i]] {
+                if !taken[v as usize] {
+                    taken[v as usize] = true;
+                    assigned[i].push(v);
+                    t = t.max(scenario.devices[v as usize].data.value() / b);
+                }
+            }
+            hover_s[i] = t;
+        }
+    }
+    // Cached marginal loss per stop; every entry starts dirty.
+    let mut lost: Vec<f64> = vec![0.0; len0];
+    let mut lost_dirty: Vec<bool> = vec![true; len0];
+
+    loop {
+        counters.iterations += 1;
+        // Fresh O(|tour|) energy totals each iteration, accumulated in
+        // the same order as `assignments` for bit-identical sums.
+        let mut hover_energy = 0.0f64;
+        for &h in hover_s.iter().skip(1) {
+            hover_energy += h * eta_h;
+        }
+        let tour_len = closed_tour_length(&state.pts);
+        if hover_energy + tour_len * per_m <= capacity || state.pts.len() <= 1 {
+            break;
+        }
+        // Refresh stale loss caches (the filtered sum runs in coverage
+        // order, exactly like the exhaustive pass).
+        for i in 1..state.pts.len() {
+            if !lost_dirty[i] {
+                continue;
+            }
+            lost_dirty[i] = false;
+            counters.marginal_evals += 1;
+            counters.evaluations += 1;
+            let dev = state.dev_of[i];
+            lost[i] = state.coverage[dev]
+                .iter()
+                .filter(|&&v| covering_stops[v as usize] == 1)
+                .map(|&v| scenario.devices[v as usize].data.value())
+                .sum();
+        }
+        let mut best_idx = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)] // several arrays indexed by i
+        for i in 1..state.pts.len() {
+            let saved = removal_delta(&state.pts, i) * per_m + hover_s[i] * eta_h;
+            let ratio = lost[i] / saved.max(1e-12);
+            if ratio < best_ratio {
+                best_ratio = ratio;
+                best_idx = i;
+            }
+        }
+        if best_idx == usize::MAX {
+            break;
+        }
+        // Remove the stop and repair the incremental structures.
+        let removed_dev = state.dev_of[best_idx];
+        let orphans = std::mem::take(&mut assigned[best_idx]);
+        state.pts.remove(best_idx);
+        state.dev_of.remove(best_idx);
+        assigned.remove(best_idx);
+        hover_s.remove(best_idx);
+        lost.remove(best_idx);
+        lost_dirty.remove(best_idx);
+        device_pos[removed_dev] = usize::MAX;
+        for p in device_pos.iter_mut() {
+            if *p != usize::MAX && *p > best_idx {
+                *p -= 1;
+            }
+        }
+        // Decrement covering counts; a device dropping to a single
+        // remaining coverer changes that coverer's marginal loss.
+        for &v in &state.coverage[removed_dev] {
+            let v = v as usize;
+            covering_stops[v] -= 1;
+            if covering_stops[v] == 1 {
+                for &d in &state.coverage[v] {
+                    let p = device_pos[d as usize];
+                    if p != usize::MAX {
+                        lost_dirty[p] = true;
+                    }
+                }
+            }
+        }
+        // Reassign the removed stop's devices to their next covering
+        // stop in tour order (max-merge keeps hover times exact).
+        for &v in &orphans {
+            let mut next = usize::MAX;
+            for &d in &state.coverage[v as usize] {
+                let p = device_pos[d as usize];
+                if p < next {
+                    next = p;
+                }
+            }
+            if next != usize::MAX {
+                assigned[next].push(v);
+                hover_s[next] = hover_s[next].max(scenario.devices[v as usize].data.value() / b);
+            }
+        }
+    }
+}
+
+impl BenchmarkPlanner {
+    /// Plans with an explicit engine choice and returns the work/timing
+    /// breakdown alongside the plan. `counters.candidates` is the
+    /// initial tour's stop count (the benchmark has no grid candidates).
+    pub fn plan_with_stats(
+        &self,
+        scenario: &Scenario,
+        engine: EngineMode,
+    ) -> (CollectionPlan, PlanStats) {
+        let setup_start = std::time::Instant::now();
+        let n = scenario.num_devices();
+        let mut stats = PlanStats {
+            engine,
+            counters: EvalCounters {
+                candidates: n,
+                ..EvalCounters::default()
+            },
+            setup_ns: 0,
+            loop_ns: 0,
+        };
+        if n == 0 {
+            stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+            return (CollectionPlan::empty(), stats);
+        }
         let r0 = scenario.coverage_radius().value();
 
         // Coverage lists per device position.
@@ -113,47 +318,17 @@ impl Planner for BenchmarkPlanner {
             dev_of,
             coverage,
         };
+        stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
 
-        loop {
-            let (_, hover_s, hover_energy) = state.assignments();
-            let tour_len = closed_tour_length(&state.pts);
-            if hover_energy + tour_len * per_m <= capacity || state.pts.len() <= 1 {
-                break;
-            }
-            // Marginal data loss of removing stop i: the data of devices
-            // assigned to i that no other remaining stop covers.
-            let mut covering_stops = vec![0u32; n];
-            #[allow(clippy::needless_range_loop)] // several arrays indexed by i
-            for i in 1..state.pts.len() {
-                for &v in &state.coverage[state.dev_of[i]] {
-                    covering_stops[v as usize] += 1;
-                }
-            }
-            let mut best_idx = usize::MAX;
-            let mut best_ratio = f64::INFINITY;
-            #[allow(clippy::needless_range_loop)] // several arrays indexed by i
-            for i in 1..state.pts.len() {
-                let dev = state.dev_of[i];
-                let lost: f64 = state.coverage[dev]
-                    .iter()
-                    .filter(|&&v| covering_stops[v as usize] == 1)
-                    .map(|&v| scenario.devices[v as usize].data.value())
-                    .sum();
-                let saved = removal_delta(&state.pts, i) * per_m + hover_s[i] * eta_h;
-                let ratio = lost / saved.max(1e-12);
-                if ratio < best_ratio {
-                    best_ratio = ratio;
-                    best_idx = i;
-                }
-            }
-            if best_idx == usize::MAX {
-                break;
-            }
-            state.pts.remove(best_idx);
-            state.dev_of.remove(best_idx);
+        let loop_start = std::time::Instant::now();
+        match engine {
+            EngineMode::Lazy => prune_lazy(&mut state, &mut stats.counters),
+            EngineMode::Exhaustive => prune_exhaustive(&mut state, &mut stats.counters),
         }
+        stats.loop_ns = loop_start.elapsed().as_nanos() as u64;
 
         // Materialise stops from the final assignment.
+        let capacity = scenario.uav.capacity.value();
         let (new_devices, hover_s, _) = state.assignments();
         let stops = (1..state.pts.len())
             .filter(|&i| !new_devices[i].is_empty() || hover_s[i] > 0.0)
@@ -168,8 +343,18 @@ impl Planner for BenchmarkPlanner {
             .collect();
         let plan = CollectionPlan { stops };
         debug_assert!(plan.total_energy(scenario).value() <= capacity * (1.0 + 1e-9) + 1e-9);
-        let _ = b;
-        plan
+        let _ = capacity;
+        (plan, stats)
+    }
+}
+
+impl Planner for BenchmarkPlanner {
+    fn name(&self) -> &'static str {
+        "Benchmark (Christofides + prune)"
+    }
+
+    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
+        self.plan_with_stats(scenario, EngineMode::Lazy).0
     }
 }
 

@@ -124,6 +124,23 @@ impl CandidateSet {
             }
         }
         let mut dead = vec![false; n];
+        // Collapse exact-duplicate coverage sets up front (common at
+        // small δ, where many grid cells see the same devices): keep the
+        // first candidate in grid order — exactly what the pairwise
+        // equal-set rule below would converge to — in one O(n log n)
+        // pass instead of paying for duplicates in the bucket scans.
+        // A BTreeMap keyed on the sorted slice keeps this deterministic.
+        {
+            let mut seen: std::collections::BTreeMap<&[u32], usize> =
+                std::collections::BTreeMap::new();
+            for (i, c) in self.candidates.iter().enumerate() {
+                if seen.contains_key(c.covered.as_slice()) {
+                    dead[i] = true;
+                } else {
+                    seen.insert(c.covered.as_slice(), i);
+                }
+            }
+        }
         for i in 0..n {
             if dead[i] {
                 continue;
@@ -296,6 +313,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prune_dominated_collapses_duplicates_keeping_first() {
+        // Hand-built set: indices 0, 2, 4 share the exact coverage set
+        // {0, 1}; index 1 is a strict subset {0}; index 3 is unrelated.
+        let mk = |x: f64, covered: Vec<u32>| Candidate {
+            pos: Point2::new(x, 0.0),
+            covered,
+        };
+        let mut cs = CandidateSet {
+            delta: 1.0,
+            coverage_radius: 1.0,
+            candidates: vec![
+                mk(0.0, vec![0, 1]),
+                mk(1.0, vec![0]),
+                mk(2.0, vec![0, 1]),
+                mk(3.0, vec![2]),
+                mk(4.0, vec![0, 1]),
+            ],
+        };
+        cs.prune_dominated();
+        let kept: Vec<f64> = cs.candidates.iter().map(|c| c.pos.x).collect();
+        // First duplicate (x = 0) survives, later twins and the strict
+        // subset are pruned, unrelated coverage is untouched.
+        assert_eq!(kept, vec![0.0, 3.0]);
     }
 
     #[test]

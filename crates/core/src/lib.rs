@@ -43,6 +43,7 @@ mod alg3;
 mod auxgraph;
 mod benchmark;
 mod candidates;
+pub mod greedy;
 mod multi;
 mod plan;
 mod polish;
@@ -56,6 +57,7 @@ pub use alg3::{Alg3Config, Alg3Planner};
 pub use auxgraph::AuxGraph;
 pub use benchmark::BenchmarkPlanner;
 pub use candidates::{Candidate, CandidateSet};
+pub use greedy::{EngineMode, EvalCounters, PlanStats};
 pub use multi::{
     FleetConfig, FleetPartition, FleetPlan, JointFleetPlanner, MultiUavPlanner, TeamAlg1Planner,
 };

@@ -326,8 +326,8 @@ impl JointFleetPlanner {
         loop {
             // Best (candidate, uav) by ρ.
             let mut best: Option<(usize, usize, usize, f64, f64)> = None; // (cand, uav, pos, tau, ratio)
-            // Indexing, not iterating: the body deactivates entries of
-            // `active` while scanning it.
+                                                                          // Indexing, not iterating: the body deactivates entries of
+                                                                          // `active` while scanning it.
             #[allow(clippy::needless_range_loop)]
             for c in 0..candidates.len() {
                 if !active[c] {
