@@ -18,7 +18,7 @@
 use crate::candidates::CandidateSet;
 use uavdc_geom::Point2;
 use uavdc_graph::DistMatrix;
-use uavdc_net::units::MegaBytes;
+use uavdc_net::units::{Joules, MegaBytes, Seconds};
 use uavdc_net::Scenario;
 use uavdc_orienteering::OrienteeringInstance;
 
@@ -26,14 +26,15 @@ use uavdc_orienteering::OrienteeringInstance;
 #[derive(Clone, Debug)]
 pub struct AuxGraph {
     /// Orienteering instance: vertex 0 is the depot, vertex `i + 1` is
-    /// candidate `i`.
+    /// candidate `i`. Edge weights and the budget are joules; prizes are
+    /// megabytes (the orienteering layer itself is dimension-generic).
     pub instance: OrienteeringInstance,
     /// Positions of the instance vertices (depot first).
     pub positions: Vec<Point2>,
-    /// Hovering energy `w1` of each vertex (zero for the depot), joules.
-    pub hover_energy: Vec<f64>,
-    /// Full-collection sojourn `t(s)` of each vertex, seconds.
-    pub hover_time: Vec<f64>,
+    /// Hovering energy `w1` of each vertex (zero for the depot).
+    pub hover_energy: Vec<Joules>,
+    /// Full-collection sojourn `t(s)` of each vertex.
+    pub hover_time: Vec<Seconds>,
 }
 
 impl AuxGraph {
@@ -47,18 +48,23 @@ impl AuxGraph {
         let mut hover_time = Vec::with_capacity(n);
         positions.push(scenario.depot);
         prizes.push(0.0);
-        hover_energy.push(0.0);
-        hover_time.push(0.0);
+        hover_energy.push(Joules::ZERO);
+        hover_time.push(Seconds::ZERO);
         let eta_h = scenario.uav.hover_power;
         for c in &candidates.candidates {
             let t = c.hover_time(&volumes, scenario);
             positions.push(c.pos);
+            // lint:allow(unit-unwrap): prizes feed the dimension-generic orienteering layer (megabytes)
             prizes.push(c.coverage_volume(&volumes).value());
-            hover_energy.push((eta_h * t).value());
-            hover_time.push(t.value());
+            hover_energy.push(eta_h * t);
+            hover_time.push(t);
         }
+        // The orienteering instance is dimension-generic: its weights and
+        // budget are raw f64 carrying joules by the Eq. 9 construction.
+        // lint:allow(unit-unwrap): Eq. 9 edge weights enter the generic orienteering layer as joules
         let per_m = scenario.uav.travel_energy_per_meter().value();
-        let he = hover_energy.clone();
+        // lint:allow(unit-unwrap): Eq. 9 edge weights enter the generic orienteering layer as joules
+        let he: Vec<f64> = hover_energy.iter().map(|e| e.value()).collect();
         let pos = positions.clone();
         let dist = DistMatrix::from_fn(n, |i, j| {
             (he[i] + he[j]) / 2.0 + pos[i].distance(pos[j]) * per_m
@@ -67,6 +73,7 @@ impl AuxGraph {
             n > 40 || dist.is_metric(1e-9),
             "Eq. 9 weights must be metric (Lemma 1)"
         );
+        // lint:allow(unit-unwrap): the orienteering budget is the battery capacity in joules
         let instance = OrienteeringInstance::new(dist, prizes, 0, scenario.uav.capacity.value());
         let aux = AuxGraph {
             instance,
@@ -81,15 +88,15 @@ impl AuxGraph {
     /// Exact hovering + travel energy of the closed tour visiting the
     /// given instance vertices in order — equals the cycle weight in the
     /// auxiliary graph (each endpoint's half-energies summing to `w1`).
-    pub fn tour_energy(&self, tour: &[usize]) -> f64 {
+    pub fn tour_energy(&self, tour: &[usize]) -> Joules {
         if tour.len() < 2 {
             return self
                 .hover_energy
                 .get(tour.first().copied().unwrap_or(0))
                 .copied()
-                .unwrap_or(0.0);
+                .unwrap_or(Joules::ZERO);
         }
-        self.instance.tour_cost(tour)
+        Joules(self.instance.tour_cost(tour))
     }
 }
 
@@ -130,7 +137,7 @@ mod tests {
         let g = AuxGraph::build(&s, &cs);
         assert_eq!(g.positions[0], s.depot);
         assert_eq!(g.instance.prize(0), 0.0);
-        assert_eq!(g.hover_energy[0], 0.0);
+        assert_eq!(g.hover_energy[0], Joules::ZERO);
         assert_eq!(g.instance.depot(), 0);
         assert_eq!(g.instance.len(), cs.len() + 1);
     }
@@ -152,8 +159,8 @@ mod tests {
                 .map(|&v| s.devices[v as usize].data.value() / 150.0)
                 .fold(0.0, f64::max);
             assert!((g.instance.prize(i + 1) - vol).abs() < 1e-9);
-            assert!((g.hover_time[i + 1] - t).abs() < 1e-9);
-            assert!((g.hover_energy[i + 1] - t * 150.0).abs() < 1e-9);
+            assert!((g.hover_time[i + 1].value() - t).abs() < 1e-9);
+            assert!((g.hover_energy[i + 1].value() - t * 150.0).abs() < 1e-9);
         }
     }
 
@@ -165,7 +172,7 @@ mod tests {
         // Edge depot (w1 = 0) to candidate i: w2 = w1(i)/2 + 10 J/m * dist.
         let d01 = g.positions[0].distance(g.positions[1]);
         let w = g.instance.dist(0, 1);
-        assert!((w - (g.hover_energy[1] / 2.0 + 10.0 * d01)).abs() < 1e-9);
+        assert!((w - (g.hover_energy[1].value() / 2.0 + 10.0 * d01)).abs() < 1e-9);
     }
 
     #[test]
@@ -184,7 +191,7 @@ mod tests {
             + g.positions[b].distance(g.positions[0]))
             * 10.0;
         let hover = g.hover_energy[a] + g.hover_energy[b];
-        assert!((cost - travel - hover).abs() < 1e-6);
+        assert!((cost.value() - travel - hover.value()).abs() < 1e-6);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! rather than by brute force.
 
 use uavdc_geom::{GridSpec, Point2, SpatialGrid};
-use uavdc_net::units::{MegaBytes, Seconds};
+use uavdc_net::units::{MegaBytes, Meters, Seconds};
 use uavdc_net::Scenario;
 
 /// A candidate hovering location: a grid-square centre plus the set of
@@ -45,8 +45,8 @@ impl Candidate {
 pub struct CandidateSet {
     /// Grid edge length `δ`, metres.
     pub delta: f64,
-    /// Coverage radius `R0` used, metres.
-    pub coverage_radius: f64,
+    /// Coverage radius `R0` used.
+    pub coverage_radius: Meters,
     /// Candidates with non-empty coverage, in grid row-major order.
     pub candidates: Vec<Candidate>,
 }
@@ -62,15 +62,17 @@ impl CandidateSet {
             delta.is_finite() && delta > 0.0,
             "delta must be positive, got {delta}"
         );
-        let r0 = scenario.coverage_radius().value();
+        let r0 = scenario.coverage_radius();
         let grid = GridSpec::for_region(&scenario.region, delta);
         let positions = scenario.device_positions();
-        let index = SpatialGrid::build(&positions, r0.max(delta));
+        // lint:allow(unit-unwrap): the geometry layer (SpatialGrid) is dimension-generic, radii in metres
+        let index = SpatialGrid::build(&positions, r0.value().max(delta));
         let mut candidates = Vec::new();
         let mut buf = Vec::new();
         for cell in grid.cells() {
             let center = grid.cell_center(cell);
-            index.query_radius_into(center, r0, &mut buf);
+            // lint:allow(unit-unwrap): the geometry layer is dimension-generic, radii in metres
+            index.query_radius_into(center, r0.value(), &mut buf);
             if buf.is_empty() {
                 continue;
             }
@@ -181,7 +183,9 @@ impl CandidateSet {
         let volumes: Vec<MegaBytes> = scenario.devices.iter().map(|d| d.data).collect();
         let mut order: Vec<usize> = (0..self.candidates.len()).collect();
         order.sort_by(|&a, &b| {
+            // lint:allow(unit-unwrap): cmp_f64_desc needs the raw values for its NaN-safe total order
             let va = self.candidates[a].coverage_volume(&volumes).value();
+            // lint:allow(unit-unwrap): cmp_f64_desc needs the raw values for its NaN-safe total order
             let vb = self.candidates[b].coverage_volume(&volumes).value();
             uavdc_geom::cmp_f64_desc(va, vb)
         });
@@ -325,7 +329,7 @@ mod tests {
         };
         let mut cs = CandidateSet {
             delta: 1.0,
-            coverage_radius: 1.0,
+            coverage_radius: Meters(1.0),
             candidates: vec![
                 mk(0.0, vec![0, 1]),
                 mk(1.0, vec![0]),

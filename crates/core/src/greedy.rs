@@ -112,7 +112,25 @@ where
     F: Fn(usize) -> Option<E> + Sync,
     B: Fn(&E, &E) -> bool + Sync,
 {
-    if !parallel || n < 2 {
+    let threads = if parallel { num_threads() } else { 1 };
+    chunked_argmax_with(n, threads, eval, better)
+}
+
+/// [`chunked_argmax`] with an explicit worker-thread count, bypassing the
+/// process-wide `UAVDC_THREADS` cache. `threads == 1` (or `n < 2`) is the
+/// plain serial fold. The result is bit-identical for every thread count:
+/// chunks are folded in ascending-index order and merged in chunk order,
+/// so ties always resolve to the lowest-index winner under a strict
+/// `better` predicate. Exposed (and property-tested) so determinism can
+/// be checked across thread counts within one process.
+pub fn chunked_argmax_with<E, F, B>(n: usize, threads: usize, eval: F, better: B) -> Option<E>
+where
+    E: Send,
+    F: Fn(usize) -> Option<E> + Sync,
+    B: Fn(&E, &E) -> bool + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n < 2 {
         let mut best: Option<E> = None;
         for c in 0..n {
             if let Some(e) = eval(c) {
@@ -123,13 +141,12 @@ where
         }
         return best;
     }
-    let threads = num_threads();
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Option<E>> = Vec::new();
     results.resize_with(threads, || None);
     crossbeam::thread::scope(|scope| {
         for (t, slot) in results.iter_mut().enumerate() {
-            let lo = t * chunk;
+            let lo = (t * chunk).min(n);
             let hi = ((t + 1) * chunk).min(n);
             let eval = &eval;
             let better = &better;
@@ -170,16 +187,35 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = batch.len();
-    if n < parallel_threshold.max(2) {
+    let threads = if n < parallel_threshold.max(2) {
+        1
+    } else {
+        num_threads()
+    };
+    chunked_map_with(batch, threads, f)
+}
+
+/// [`chunked_map`] with an explicit worker-thread count, bypassing the
+/// process-wide `UAVDC_THREADS` cache. Results come back in batch order
+/// regardless of the thread count (chunks are contiguous and concatenated
+/// in chunk order), which the determinism property test asserts.
+pub fn chunked_map_with<T, R, F>(batch: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = batch.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
         return batch.iter().map(&f).collect();
     }
-    let threads = num_threads().min(n);
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Vec<R>> = Vec::new();
     results.resize_with(threads, Vec::new);
     crossbeam::thread::scope(|scope| {
         for (t, slot) in results.iter_mut().enumerate() {
-            let lo = t * chunk;
+            let lo = (t * chunk).min(n);
             let hi = ((t + 1) * chunk).min(n);
             let f = &f;
             scope.spawn(move |_| {
@@ -589,13 +625,14 @@ impl PlanStats {
 mod tests {
     use super::*;
     use crate::tourutil::cheapest_insertion_point;
+    use uavdc_net::units::Meters;
 
     #[test]
     fn device_index_inverts_coverage() {
         use crate::candidates::Candidate;
         let cs = CandidateSet {
             delta: 1.0,
-            coverage_radius: 1.0,
+            coverage_radius: Meters(1.0),
             candidates: vec![
                 Candidate {
                     pos: Point2::new(0.0, 0.0),

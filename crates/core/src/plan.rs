@@ -47,8 +47,8 @@ pub enum PlanError {
         stop: usize,
         /// Offending device.
         device: DeviceId,
-        /// Actual ground distance, metres.
-        distance: f64,
+        /// Actual ground distance.
+        distance: Meters,
     },
     /// A stop collects more from one device than its sojourn's bandwidth
     /// allows (`amount > B · sojourn`).
@@ -85,7 +85,12 @@ impl std::fmt::Display for PlanError {
                 device,
                 distance,
             } => {
-                write!(f, "stop {stop} collects from device {device:?} at {distance:.1} m, outside coverage")
+                write!(
+                    f,
+                    "stop {stop} collects from device {device:?} at {:.1} m, outside coverage",
+                    // lint:allow(unit-unwrap): error formatting with one decimal, not arithmetic
+                    distance.value()
+                )
             }
             PlanError::BandwidthExceeded { stop, device } => {
                 write!(
@@ -166,7 +171,7 @@ impl CollectionPlan {
     /// Tolerances: energy within `1e-6` relative; per-device totals within
     /// `1e-6` MB absolute slack.
     pub fn validate(&self, scenario: &Scenario) -> Result<(), PlanError> {
-        let r0 = scenario.coverage_radius().value();
+        let r0 = scenario.coverage_radius();
         let b = scenario.radio.bandwidth;
         let mut per_device = vec![MegaBytes::ZERO; scenario.num_devices()];
         for (i, stop) in self.stops.iter().enumerate() {
@@ -175,7 +180,7 @@ impl CollectionPlan {
                     "stop {i} position not finite"
                 )));
             }
-            if !stop.sojourn.is_finite() || stop.sojourn.value() < 0.0 {
+            if !stop.sojourn.is_finite() || stop.sojourn < Seconds::ZERO {
                 return Err(PlanError::Malformed(format!("stop {i} sojourn invalid")));
             }
             let allowance = b * stop.sojourn;
@@ -191,13 +196,13 @@ impl CollectionPlan {
                         "stop {i} references unknown device"
                     )));
                 }
-                if !amount.is_finite() || amount.value() < 0.0 {
+                if !amount.is_finite() || amount < MegaBytes::ZERO {
                     return Err(PlanError::Malformed(format!(
                         "stop {i} collects invalid amount"
                     )));
                 }
-                let d = scenario.devices[dev.index()].pos.distance(stop.pos);
-                if d > r0 + 1e-6 {
+                let d = Meters(scenario.devices[dev.index()].pos.distance(stop.pos));
+                if d > r0 + Meters(1e-6) {
                     return Err(PlanError::OutOfCoverage {
                         stop: i,
                         device: dev,
@@ -206,7 +211,7 @@ impl CollectionPlan {
                 }
                 let total = within_stop.entry(dev).or_insert(MegaBytes::ZERO);
                 *total += amount;
-                if total.value() > allowance.value() + 1e-6 {
+                if *total > allowance + MegaBytes(1e-6) {
                     return Err(PlanError::BandwidthExceeded {
                         stop: i,
                         device: dev,
@@ -217,7 +222,7 @@ impl CollectionPlan {
         }
         for (idx, &claimed) in per_device.iter().enumerate() {
             let stored = scenario.devices[idx].data;
-            if claimed.value() > stored.value() + 1e-6 {
+            if claimed > stored + MegaBytes(1e-6) {
                 return Err(PlanError::OverCollected {
                     device: DeviceId(idx as u32),
                     claimed,
@@ -226,7 +231,7 @@ impl CollectionPlan {
             }
         }
         let required = self.total_energy(scenario);
-        if required.value() > scenario.uav.capacity.value() * (1.0 + 1e-6) + 1e-6 {
+        if required > scenario.uav.capacity * (1.0 + 1e-6) + Joules(1e-6) {
             return Err(PlanError::EnergyExceeded {
                 required,
                 capacity: scenario.uav.capacity,

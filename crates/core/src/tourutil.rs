@@ -9,8 +9,10 @@ use uavdc_geom::Point2;
 use uavdc_graph::christofides::{christofides_with, ChristofidesConfig};
 use uavdc_graph::DistMatrix;
 
-/// Length of the closed tour through `pts` (first point is the depot).
-pub fn closed_tour_length(pts: &[Point2]) -> f64 {
+/// Length of the closed tour through `pts` (first point is the depot),
+/// in raw metres: this module is crate-private hot-path machinery (a
+/// declared perf-critical module, DESIGN.md §9), so it stays in f64.
+pub(crate) fn closed_tour_length(pts: &[Point2]) -> f64 {
     uavdc_geom::tour_length(pts)
 }
 

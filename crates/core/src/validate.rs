@@ -108,6 +108,7 @@ pub fn check_plan(
     if !plan.stops.is_empty() {
         legs += prev.distance(scenario.depot);
     }
+    // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
     let claimed = plan.travel_length(scenario).value();
     if (legs - claimed).abs() > REL_TOL * (1.0 + claimed.abs()) {
         return Err(violation(
@@ -120,6 +121,7 @@ pub fn check_plan(
     let demand = plan.total_energy(scenario);
     let capacity = scenario.uav.capacity;
     let slack = capacity - demand;
+    // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
     if slack.value() < -REL_TOL * (1.0 + capacity.value()) {
         return Err(violation(
             "energy-budget",
@@ -129,6 +131,7 @@ pub fn check_plan(
 
     // --- Per-device conservation and per-stop bandwidth -------------
     let r0 = match scenario.try_coverage_radius() {
+        // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
         Some(r) => r.value(),
         None => {
             return Err(violation(
@@ -141,12 +144,14 @@ pub fn check_plan(
     let mut per_device = vec![0.0f64; n];
     let mut stops_listing = vec![0usize; n];
     for (i, stop) in plan.stops.iter().enumerate() {
+        // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
         if !stop.sojourn.is_finite() || stop.sojourn.value() < 0.0 {
             return Err(violation(
                 "conservation",
                 format!("stop {i} sojourn invalid"),
             ));
         }
+        // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
         let allowance = (scenario.radio.bandwidth * stop.sojourn).value();
         let mut within_stop = vec![0.0f64; n];
         let mut listed = vec![false; n];
@@ -158,6 +163,7 @@ pub fn check_plan(
                     format!("stop {i} references unknown device {dev:?}"),
                 ));
             }
+            // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
             if !amount.is_finite() || amount.value() < 0.0 {
                 return Err(violation(
                     "conservation",
@@ -173,6 +179,7 @@ pub fn check_plan(
                     ),
                 ));
             }
+            // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
             within_stop[d] += amount.value();
             if within_stop[d] > allowance + REL_TOL * (1.0 + allowance) {
                 return Err(violation(
@@ -183,6 +190,7 @@ pub fn check_plan(
                     ),
                 ));
             }
+            // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
             per_device[d] += amount.value();
             if !listed[d] {
                 listed[d] = true;
@@ -194,6 +202,7 @@ pub fn check_plan(
     let mut drained = 0;
     let mut untouched = 0;
     for (d, &got) in per_device.iter().enumerate() {
+        // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
         let stored = scenario.devices[d].data.value();
         if got > stored + REL_TOL * (1.0 + stored) {
             return Err(violation(
@@ -261,11 +270,13 @@ pub fn check_fleet(
                     ));
                 }
                 owner[d] = u;
+                // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
                 per_device[d] += amount.value();
             }
         }
     }
     for (d, &got) in per_device.iter().enumerate() {
+        // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
         let stored = scenario.devices[d].data.value();
         if got > stored + REL_TOL * (1.0 + stored) {
             return Err(violation(
@@ -289,10 +300,14 @@ pub fn check_aux_graph(aux: &AuxGraph) -> Result<(), Violation> {
     let inst = &aux.instance;
     let n = inst.len();
     let scale = 1.0
-        + inst
-            .dist(0, 0)
-            .abs()
-            .max(aux.hover_energy.iter().copied().fold(0.0, f64::max));
+        + inst.dist(0, 0).abs().max(
+            aux.hover_energy
+                .iter()
+                .copied()
+                .fold(Joules::ZERO, Joules::max)
+                // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
+                .value(),
+        );
     let tol = REL_TOL * scale.max(1.0);
     for i in 0..n {
         if inst.dist(i, i).abs() > tol {
@@ -309,7 +324,8 @@ pub fn check_aux_graph(aux: &AuxGraph) -> Result<(), Violation> {
                     format!("asymmetric weight between {i} and {j}"),
                 ));
             }
-            let half_sum = (aux.hover_energy[i] + aux.hover_energy[j]) / 2.0;
+            // lint:allow(unit-unwrap): independent validator cross-checks the unit-typed accounting in raw f64
+            let half_sum = ((aux.hover_energy[i] + aux.hover_energy[j]) / 2.0).value();
             if w < half_sum - tol {
                 return Err(violation(
                     "aux-metricity",

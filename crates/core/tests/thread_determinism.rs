@@ -1,0 +1,130 @@
+//! Property test: the chunked parallel scans are bit-identical across
+//! thread counts.
+//!
+//! `UAVDC_THREADS` selects the worker count once per process (an
+//! `OnceLock` in `greedy::num_threads`), so varying it in-process is
+//! impossible; the explicit-thread variants `chunked_argmax_with` /
+//! `chunked_map_with` take the same code path with the cache bypassed,
+//! letting one test sweep thread counts {1, 2, 4, 8} plus serial mode.
+//! The inputs are adversarially tie-heavy: if the merge order were ever
+//! nondeterministic, a tie is exactly where a different winner would
+//! surface.
+
+use uavdc_core::greedy::{chunked_argmax_with, chunked_map_with};
+
+/// SplitMix64: deterministic, dependency-free test PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, m).
+    fn below(&mut self, m: u64) -> u64 {
+        self.next() % m
+    }
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Tie-heavy score table: values drawn from a 4-element set so that at
+/// every size a large fraction of candidates share the exact maximum,
+/// interleaved with inactive (`None`) candidates.
+fn tie_heavy_scores(n: usize, seed: u64) -> Vec<Option<f64>> {
+    let mut rng = Rng(seed);
+    (0..n)
+        .map(|_| match rng.below(5) {
+            0 => None,
+            1 => Some(0.0),
+            2 => Some(0.25),
+            3 => Some(1.0),
+            _ => Some(1.0), // double weight on the shared maximum
+        })
+        .collect()
+}
+
+#[test]
+fn argmax_bit_identical_across_thread_counts() {
+    for &n in &[0usize, 1, 2, 3, 7, 8, 9, 64, 257, 1000] {
+        for seed in 0..4u64 {
+            let scores = tie_heavy_scores(n, seed * 1193 + n as u64);
+            let run = |threads: usize| {
+                chunked_argmax_with(
+                    n,
+                    threads,
+                    |c| scores[c].map(|s| (s, c)),
+                    // Strict `better`: ties keep the earlier candidate, so
+                    // the winning *index* must match exactly, not just the
+                    // winning score.
+                    |a: &(f64, usize), b: &(f64, usize)| a.0 > b.0,
+                )
+            };
+            let serial = run(1);
+            for &t in &THREAD_COUNTS {
+                let got = run(t);
+                assert_eq!(
+                    got.map(|(s, c)| (s.to_bits(), c)),
+                    serial.map(|(s, c)| (s.to_bits(), c)),
+                    "argmax diverged at n={n} seed={seed} threads={t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn argmax_all_ties_resolves_to_first_candidate() {
+    // Every candidate scores exactly 1.0: the winner must always be
+    // candidate 0, whatever the chunking.
+    for &n in &[2usize, 5, 16, 99, 1024] {
+        for &t in &THREAD_COUNTS {
+            let got = chunked_argmax_with(n, t, |c| Some((1.0f64, c)), |a, b| a.0 > b.0);
+            assert_eq!(got, Some((1.0, 0)), "n={n} threads={t}");
+        }
+    }
+}
+
+#[test]
+fn argmax_oversubscribed_threads_are_safe() {
+    // More threads than candidates: trailing chunks are empty and must
+    // neither panic nor change the answer.
+    let scores = tie_heavy_scores(5, 7);
+    let serial = chunked_argmax_with(5, 1, |c| scores[c].map(|s| (s, c)), |a, b| a.0 > b.0);
+    for t in [5usize, 6, 13, 64] {
+        let got = chunked_argmax_with(5, t, |c| scores[c].map(|s| (s, c)), |a, b| a.0 > b.0);
+        assert_eq!(got, serial, "threads={t}");
+    }
+}
+
+#[test]
+fn map_bit_identical_across_thread_counts() {
+    for &n in &[0usize, 1, 2, 3, 7, 8, 9, 64, 257, 1000] {
+        let mut rng = Rng(n as u64 + 17);
+        let batch: Vec<f64> = (0..n).map(|_| rng.below(1 << 20) as f64 / 64.0).collect();
+        // A float pipeline whose result depends on the element only (no
+        // cross-element accumulation), as the chunked contract requires.
+        let f = |x: &f64| (x * 1.000000119 + 0.5).sqrt().to_bits();
+        let serial: Vec<u64> = batch.iter().map(f).collect();
+        for &t in &THREAD_COUNTS {
+            let got = chunked_map_with(&batch, t, f);
+            assert_eq!(got, serial, "map diverged at n={n} threads={t}");
+        }
+        // Oversubscribed: more threads than elements.
+        let got = chunked_map_with(&batch, n + 3, f);
+        assert_eq!(got, serial, "map diverged oversubscribed at n={n}");
+    }
+}
+
+#[test]
+fn map_preserves_batch_order() {
+    let batch: Vec<usize> = (0..1000).collect();
+    for &t in &THREAD_COUNTS {
+        let got = chunked_map_with(&batch, t, |&i| i);
+        assert_eq!(got, batch, "order broken at threads={t}");
+    }
+}

@@ -81,6 +81,7 @@ pub fn held_karp(m: &DistMatrix) -> Option<Tour> {
 /// Optimal tour *length* by brute force permutation — `O(n!)`, for tests
 /// against Held–Karp on very small instances only.
 #[doc(hidden)]
+// lint:allow(raw-quantity): DistMatrix weights are dimension-generic; uavdc-core assigns joules at the AuxGraph boundary
 pub fn brute_force_length(m: &DistMatrix) -> f64 {
     let n = m.len();
     if n < 2 {

@@ -50,6 +50,7 @@ impl Tour {
     }
 
     /// Total cyclic length under `m`.
+    // lint:allow(raw-quantity): DistMatrix weights are dimension-generic; uavdc-core assigns joules at the AuxGraph boundary
     pub fn length(&self, m: &DistMatrix) -> f64 {
         let n = self.order.len();
         if n < 2 {

@@ -1,0 +1,585 @@
+//! The single tokenizer behind every `uavdc-lint` rule.
+//!
+//! PR 1's scanner worked on a line-split code/comment channel, which kept
+//! string and comment bytes out of the rules but left the rules matching
+//! raw substrings (`code.contains("HashMap")`), with no notion of token
+//! boundaries, operators, or literals. This lexer produces a proper token
+//! stream — identifiers, numeric literals with float/int distinction,
+//! strings (plain, raw, byte), char literals vs lifetimes, multi-character
+//! operators — so rules match *tokens*, never bytes inside a literal,
+//! comment, or larger identifier.
+//!
+//! Comments are captured out-of-band (with their starting line and
+//! doc-ness) for the `lint:allow` pragma parser; their bytes never reach
+//! the token stream the source rules scan.
+//!
+//! The lexer is dependency-free, never panics, and degrades gracefully on
+//! malformed input: an unterminated literal is closed at end of input and
+//! an unknown byte becomes a one-character punct token.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (includes raw identifiers, prefix stripped).
+    Ident,
+    /// Lifetime, e.g. `'a` (text keeps the quote).
+    Lifetime,
+    /// Integer literal (including hex/oct/bin and tuple-index positions).
+    Int,
+    /// Float literal (has a fractional dot, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// String literal of any flavour; text is a placeholder `""`.
+    Str,
+    /// Char or byte literal; text is a placeholder `''`.
+    Char,
+    /// Operator or delimiter, longest-match (`==`, `->`, `::`, …).
+    Punct,
+}
+
+/// One source token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (placeholders for string/char contents).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    #[inline]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punct with exactly this text?
+    #[inline]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment, captured outside the token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text without the `//`/`/*` markers, trimmed.
+    pub text: String,
+    /// Doc comment (`///`, `//!`, `/**`, `/*!`)?
+    pub doc: bool,
+}
+
+/// A lexed source file: the rule-visible token stream plus the comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Recognises the string-literal prefixes `"`, `r"`, `r#"`, `b"`, `br#"`,
+/// `rb"`, `c"`, `cr"` starting at `i`. Returns `(skip, raw_hashes)` where
+/// `skip` is the length of the prefix *including* the opening quote and
+/// `raw_hashes` is `Some(n)` for raw strings with `n` hashes.
+fn string_prefix(chars: &[char], i: usize) -> Option<(usize, Option<u32>)> {
+    let mut j = i;
+    // Optional one or two prefix letters out of {b, r, c} with r marking raw.
+    let mut raw = false;
+    let mut letters = 0;
+    while letters < 2 {
+        match chars.get(j) {
+            Some('r') => {
+                raw = true;
+                j += 1;
+                letters += 1;
+            }
+            Some('b') | Some('c') if !raw => {
+                j += 1;
+                letters += 1;
+            }
+            _ => break,
+        }
+    }
+    if raw {
+        let mut hashes = 0u32;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some((j + 1 - i, Some(hashes)));
+        }
+        return None;
+    }
+    if chars.get(j) == Some(&'"') {
+        return Some((j + 1 - i, None));
+    }
+    None
+}
+
+/// Tokenize one Rust source file.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            let doc = matches!(chars.get(i + 2), Some(&'/') | Some(&'!'))
+                && chars.get(i + 3) != Some(&'/'); // `////…` is not a doc comment
+            let mut j = i + 2;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i + 2..j].iter().collect();
+            comments.push(Comment {
+                line: start_line,
+                text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let doc = matches!(chars.get(i + 2), Some(&'*') | Some(&'!'))
+                && chars.get(i + 3) != Some(&'/'); // `/**/` is empty, not doc
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    text.push('\n');
+                    j += 1;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: text.trim_start_matches(['*', '!']).trim().to_string(),
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // String literals (with optional b/r/c prefixes).
+        if let Some((skip, raw)) = string_prefix(&chars, i) {
+            let start_line = line;
+            i += skip;
+            match raw {
+                Some(hashes) => {
+                    // Scan for `"` followed by `hashes` hashes.
+                    while i < n {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                        } else if chars[i] == '"'
+                            && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+                        {
+                            i += 1 + hashes as usize;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                None => {
+                    while i < n {
+                        match chars[i] {
+                            '\\' => {
+                                if chars.get(i + 1) == Some(&'\n') {
+                                    line += 1;
+                                }
+                                i = (i + 2).min(n);
+                            }
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: "\"\"".into(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw identifier `r#ident` (string_prefix above already rejected
+        // `r#"`), e.g. `r#fn`.
+        if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars.get(i + 2).copied().is_some_and(is_ident_start)
+        {
+            let mut j = i + 2;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i + 2..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Byte char literal `b'x'`.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            i += 1;
+            // Falls through to the quote handling below on next loop turn
+            // would misread; handle inline instead.
+            i += lex_char_like(&chars, i, &mut toks, line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let consumed = lex_char_like(&chars, i, &mut toks, line);
+            i += consumed;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let after_dot = toks.last().is_some_and(|t| t.is_punct("."));
+            let (text, kind, len) = lex_number(&chars, i, after_dot);
+            toks.push(Tok { kind, text, line });
+            i += len;
+            continue;
+        }
+        // Operators, longest match first.
+        if let Some(op) = PUNCTS
+            .iter()
+            .find(|op| chars[i..].starts_with(&op.chars().collect::<Vec<_>>()[..]))
+        {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+            });
+            i += op.chars().count();
+            continue;
+        }
+        // Single-character punct (also the fallback for unknown bytes).
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    Lexed { toks, comments }
+}
+
+/// Lexes a `'`-introduced token at `i` (char literal or lifetime) into
+/// `toks`; returns the number of chars consumed.
+fn lex_char_like(chars: &[char], i: usize, toks: &mut Vec<Tok>, line: usize) -> usize {
+    let n = chars.len();
+    debug_assert_eq!(chars.get(i), Some(&'\''));
+    // Escape sequence ⇒ char literal.
+    if chars.get(i + 1) == Some(&'\\') {
+        let mut j = i + 2;
+        // Skip the escape payload up to the closing quote (handles \n, \',
+        // \u{…}); cap the scan so a stray quote cannot run away.
+        let mut steps = 0;
+        while j < n && chars[j] != '\'' && chars[j] != '\n' && steps < 12 {
+            j += 1;
+            steps += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            j += 1;
+        }
+        toks.push(Tok {
+            kind: TokKind::Char,
+            text: "''".into(),
+            line,
+        });
+        return j - i;
+    }
+    // `'x'` ⇒ char literal; `'ident` with no adjacent close ⇒ lifetime.
+    if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1).copied().is_some_and(|c| c != '\'') {
+        toks.push(Tok {
+            kind: TokKind::Char,
+            text: "''".into(),
+            line,
+        });
+        return 3;
+    }
+    if chars.get(i + 1).copied().is_some_and(is_ident_start) {
+        let mut j = i + 1;
+        while j < n && is_ident_continue(chars[j]) {
+            j += 1;
+        }
+        toks.push(Tok {
+            kind: TokKind::Lifetime,
+            text: chars[i..j].iter().collect(),
+            line,
+        });
+        return j - i;
+    }
+    // Lone quote (malformed); emit as punct and move on.
+    toks.push(Tok {
+        kind: TokKind::Punct,
+        text: "'".into(),
+        line,
+    });
+    1
+}
+
+/// Lexes a number starting at digit `i`. `after_dot` suppresses the
+/// fractional part so tuple field access (`pair.0.1`) stays two integer
+/// tokens instead of a bogus float.
+fn lex_number(chars: &[char], i: usize, after_dot: bool) -> (String, TokKind, usize) {
+    let n = chars.len();
+    let mut j = i;
+    let mut is_float = false;
+    // Radix prefixes: integers only.
+    if chars[i] == '0'
+        && matches!(
+            chars.get(i + 1),
+            Some(&'x') | Some(&'X') | Some(&'o') | Some(&'O') | Some(&'b') | Some(&'B')
+        )
+    {
+        j = i + 2;
+        while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (chars[i..j].iter().collect(), TokKind::Int, j - i);
+    }
+    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    if !after_dot {
+        // Fractional part: a dot NOT followed by an identifier (method
+        // call `1.max(…)`) or a second dot (range `0..n`).
+        if chars.get(j) == Some(&'.')
+            && chars.get(j + 1) != Some(&'.')
+            && !chars.get(j + 1).copied().is_some_and(is_ident_start)
+        {
+            is_float = true;
+            j += 1;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+        // Exponent.
+        if matches!(chars.get(j), Some(&'e') | Some(&'E')) {
+            let mut k = j + 1;
+            if matches!(chars.get(k), Some(&'+') | Some(&'-')) {
+                k += 1;
+            }
+            if chars.get(k).copied().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                j = k;
+                while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    let suffix_start = j;
+    while j < n && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix == "f64" || suffix == "f32" {
+        is_float = true;
+    }
+    (
+        chars[i..j].iter().collect(),
+        if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        },
+        j - i,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_tuple_fields() {
+        let t = kinds("let x = 1.0 + pair.0 + 2e-3 + 0xff + 1f64 + 1.max(2);");
+        let f: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(f, vec!["1.0", "2e-3", "1f64"]);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0xff"));
+        // `pair.0` keeps an Int 0 (field access), not a float.
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0"));
+    }
+
+    #[test]
+    fn chained_tuple_access_is_not_a_float() {
+        let t = kinds("a.0.1");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Int, "0".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Int, "1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_leave_no_rule_visible_bytes() {
+        let l = lex("let s = \"partial_cmp .unwrap() HashMap\"; // thread_rng\n/* env::var */");
+        assert!(l.toks.iter().all(|t| !t.text.contains("partial_cmp")
+            && !t.text.contains("unwrap")
+            && !t.text.contains("HashMap")));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("thread_rng"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_opaque() {
+        let l = lex("let a = r#\"x \" .unwrap() \"#; let b = b\"HashMap\"; let c = rb\"y\";");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            3,
+            "{:?}",
+            l.toks
+        );
+        assert!(l.toks.iter().any(|t| t.is_ident("a")));
+        assert!(l.toks.iter().all(|t| !t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let l = lex("fn f<'a>(s: &'a str) -> char { let c = '\"'; let d = '\\''; 'x' }");
+        let lifetimes: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn multichar_operators_lex_whole() {
+        let t = kinds("a == b != c <= d >= e -> f => g :: h .. i ..= j");
+        let ops: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(
+            ops,
+            vec!["==", "!=", "<=", ">=", "->", "=>", "::", "..", "..="]
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_and_quadruple_slash_is_not() {
+        let l = lex("/// doc\n//! inner\n// plain\n//// separator\n/** block doc */\n/*! inner block */\n/* plain block */");
+        let docs: Vec<bool> = l.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"multi\nline\";\nlet b = 1; /* c\nc */ let d = 2;";
+        let l = lex(src);
+        let b = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+        let d = l.toks.iter().find(|t| t.is_ident("d")).unwrap();
+        assert_eq!(d.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let t = kinds("let r#fn = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "fn"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_leak() {
+        // A backslash-escaped quote must not terminate the string early.
+        let l = lex("let s = \"a\\\"b.unwrap()\"; x");
+        assert!(l.toks.iter().any(|t| t.is_ident("x")));
+        assert!(l.toks.iter().all(|t| !t.text.contains("unwrap")));
+    }
+}

@@ -1,26 +1,43 @@
-//! `uavdc-lint` — dependency-free static analysis for the uavdc workspace.
+//! `uavdc-lint` — dependency-free semantic analysis for the uavdc
+//! workspace.
 //!
 //! The planners' correctness rests on numeric invariants from the paper
 //! (energy feasibility, metric closure of the auxiliary orienteering
 //! graph, data conservation across virtual hovering locations). Those
-//! invariants are easy to violate silently with three recurring Rust
-//! hazards, which this tool machine-checks on every `.rs` file in the
-//! workspace:
+//! invariants are easy to violate silently with recurring Rust hazards,
+//! which this tool machine-checks on every `.rs` file in the workspace.
 //!
-//! * [`Rule::FloatOrd`] — `partial_cmp` comparators (NaN-unsafe; panic
-//!   or scramble orderings) and `==`/`!=` against float literals.
-//!   The one approved home for float ordering is
-//!   `uavdc_geom::{cmp_f64, cmp_f64_desc, TotalF64}`.
+//! Since PR 3 the tool is a lightweight *semantic* analyzer, not a token
+//! grepper: a real lexer ([`lexer`]) produces the single token stream all
+//! rules consume (string/comment bytes can never match a rule), and an
+//! item-level parser ([`parser`]) models `fn` signatures, `struct`/`enum`
+//! fields, and `#[cfg(test)]` regions so rules can reason about
+//! visibility, types, and parameter names.
+//!
+//! Rules:
+//!
+//! * [`Rule::FloatOrd`] — `partial_cmp` comparators (NaN-unsafe) and
+//!   `==`/`!=` against float literals. The one approved home for float
+//!   ordering is `uavdc_geom::{cmp_f64, cmp_f64_desc, TotalF64}`.
 //! * [`Rule::PanicSite`] — `unwrap()/expect()/panic!/unreachable!/...`
-//!   in library code, which can abort a planner mid-tour. Allowed in
-//!   tests, benches, examples, and binaries.
+//!   in library code, which can abort a planner mid-tour.
 //! * [`Rule::Nondeterminism`] — `thread_rng`/`from_entropy` (unseeded
 //!   randomness) and `HashMap`/`HashSet` (iteration order can leak into
 //!   planner output) in library code.
+//! * [`Rule::RawQuantity`] — public signatures/fields in the planner
+//!   crates that take or return bare `f64` under a dimension-vocabulary
+//!   name (`energy`, `budget`, `dist`, `len`, `speed`, …) instead of the
+//!   `uavdc-net::units` newtypes (`Joules`, `Meters`, `Seconds`, …).
+//! * [`Rule::UnitUnwrap`] — `.value()` / `Unit(..).0` escapes from the
+//!   unit layer outside the declared perf-critical modules.
+//! * [`Rule::FloatEq`] — `==`/`!=`/`assert_eq!` on `f64` values outside
+//!   `#[cfg(test)]`.
+//! * [`Rule::EnvRead`] — `env::var` outside the sanctioned threading
+//!   helper, so planner behaviour cannot depend on ambient state.
 //!
 //! Findings are reported as `path:line: rule: message`, one per line.
-//! A finding is suppressed with a pragma comment on the same line or
-//! the line directly above:
+//! A finding is suppressed with a pragma comment on the same line or the
+//! line directly above (doc comments are never pragmas):
 //!
 //! ```text
 //! // lint:allow(panic-site): index is in range by construction of `order`
@@ -33,11 +50,16 @@
 //! Exit codes of the CLI: `0` clean, `1` findings, `2` I/O or usage
 //! error.
 
+pub mod lexer;
+pub mod parser;
+
+use lexer::{Comment, Lexed, Tok, TokKind};
+use parser::Model;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The violation classes checked by this tool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// NaN-unsafe float ordering: `partial_cmp` outside the approved
     /// helper module, or `==`/`!=` against a float literal.
@@ -48,6 +70,16 @@ pub enum Rule {
     /// Unseeded randomness or hash-order-dependent containers in
     /// library code.
     Nondeterminism,
+    /// Bare `f64` under a dimension-vocabulary name in a public
+    /// signature or field of a planner crate.
+    RawQuantity,
+    /// `.value()` / `Unit(..).0` escape from the unit layer outside a
+    /// declared perf-critical module.
+    UnitUnwrap,
+    /// `==`/`!=`/`assert_eq!` on `f64` values outside `#[cfg(test)]`.
+    FloatEq,
+    /// `env::var` outside the sanctioned configuration helpers.
+    EnvRead,
     /// A `lint:allow` pragma that suppressed nothing.
     UnusedAllow,
     /// A `lint:allow` pragma without a rule name or without a reason.
@@ -61,6 +93,10 @@ impl Rule {
             Rule::FloatOrd => "float-ord",
             Rule::PanicSite => "panic-site",
             Rule::Nondeterminism => "nondeterminism",
+            Rule::RawQuantity => "raw-quantity",
+            Rule::UnitUnwrap => "unit-unwrap",
+            Rule::FloatEq => "float-eq",
+            Rule::EnvRead => "env-read",
             Rule::UnusedAllow => "unused-allow",
             Rule::MalformedAllow => "malformed-allow",
         }
@@ -72,6 +108,10 @@ impl Rule {
             "float-ord" => Some(Rule::FloatOrd),
             "panic-site" => Some(Rule::PanicSite),
             "nondeterminism" => Some(Rule::Nondeterminism),
+            "raw-quantity" => Some(Rule::RawQuantity),
+            "unit-unwrap" => Some(Rule::UnitUnwrap),
+            "float-eq" => Some(Rule::FloatEq),
+            "env-read" => Some(Rule::EnvRead),
             "unused-allow" => Some(Rule::UnusedAllow),
             "malformed-allow" => Some(Rule::MalformedAllow),
             _ => None,
@@ -79,8 +119,16 @@ impl Rule {
     }
 
     /// All rules that scan source directly (pragma meta-rules excluded).
-    pub fn all_source_rules() -> [Rule; 3] {
-        [Rule::FloatOrd, Rule::PanicSite, Rule::Nondeterminism]
+    pub fn all_source_rules() -> [Rule; 7] {
+        [
+            Rule::FloatOrd,
+            Rule::PanicSite,
+            Rule::Nondeterminism,
+            Rule::RawQuantity,
+            Rule::UnitUnwrap,
+            Rule::FloatEq,
+            Rule::EnvRead,
+        ]
     }
 }
 
@@ -98,6 +146,17 @@ pub enum FileKind {
     /// Tests, benches, examples, binaries: panic and nondeterminism
     /// rules are relaxed; float ordering still applies.
     TestLike,
+}
+
+/// Whether path-based crate scoping applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanScope {
+    /// Workspace scan: the crate-scoped rules (`raw-quantity`,
+    /// `unit-unwrap`) only fire inside their declared crates.
+    Workspace,
+    /// Explicit-path scan (CLI arguments, fixtures): every rule fires
+    /// regardless of crate, so fixture files exercise all rules.
+    ForceAll,
 }
 
 /// Classify a workspace-relative path.
@@ -156,6 +215,31 @@ impl Finding {
     }
 }
 
+/// The full machine-readable report for a scan: a single JSON document
+/// with a schema tag, the enabled rules, and the sorted findings.
+pub fn report_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"schema\":\"uavdc-lint/2\",\"rules\":[");
+    let mut first = true;
+    for r in Rule::all_source_rules() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(r.name());
+        out.push('"');
+    }
+    out.push_str("],\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&f.to_json());
+    }
+    out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -171,186 +255,6 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// A source line split into its code part and its comment part.
-#[derive(Debug, Default, Clone)]
-struct SplitLine {
-    code: String,
-    comment: String,
-}
-
-/// Strip strings and split comments from code, line by line. Handles
-/// line comments, nested block comments, string literals (with escapes),
-/// raw strings (`r"…"`, `r#"…"#`), char literals, and lifetimes well
-/// enough for token-level linting. String/char contents are blanked
-/// from the code channel so their bytes never match a rule.
-fn split_source(source: &str) -> Vec<SplitLine> {
-    #[derive(PartialEq)]
-    enum State {
-        Normal,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut out: Vec<SplitLine> = Vec::new();
-    let mut cur = SplitLine::default();
-    let mut state = State::Normal;
-    let bytes: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Normal;
-            }
-            out.push(std::mem::take(&mut cur));
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Normal => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    i += 2;
-                }
-                '"' => {
-                    cur.code.push('"');
-                    state = State::Str;
-                    i += 1;
-                }
-                'r' if next == Some('"')
-                    || (next == Some('#') && raw_str_hashes(&bytes, i + 1).is_some()) =>
-                {
-                    let hashes = if next == Some('"') {
-                        0
-                    } else {
-                        raw_str_hashes(&bytes, i + 1).unwrap_or(0)
-                    };
-                    cur.code.push('"');
-                    state = State::RawStr(hashes);
-                    i += 2 + hashes as usize;
-                }
-                '\'' => {
-                    // Distinguish char literal from lifetime: a lifetime
-                    // is `'ident` not followed by a closing quote.
-                    if is_char_literal(&bytes, i) {
-                        cur.code.push('\'');
-                        state = State::Char;
-                    } else {
-                        cur.code.push('\'');
-                    }
-                    i += 1;
-                }
-                c => {
-                    cur.code.push(c);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                cur.comment.push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Normal
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    cur.comment.push(c);
-                    i += 1;
-                }
-            }
-            State::Str => match c {
-                '\\' => {
-                    // Keep line numbers aligned across escaped-newline
-                    // string continuations.
-                    if next == Some('\n') {
-                        out.push(std::mem::take(&mut cur));
-                    }
-                    i += 2;
-                }
-                '"' => {
-                    cur.code.push('"');
-                    state = State::Normal;
-                    i += 1;
-                }
-                _ => i += 1,
-            },
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw_str(&bytes, i, hashes) {
-                    cur.code.push('"');
-                    state = State::Normal;
-                    i += 1 + hashes as usize;
-                } else {
-                    i += 1;
-                }
-            }
-            State::Char => match c {
-                '\\' => i += 2,
-                '\'' => {
-                    cur.code.push('\'');
-                    state = State::Normal;
-                    i += 1;
-                }
-                _ => i += 1,
-            },
-        }
-    }
-    out.push(cur);
-    out
-}
-
-fn raw_str_hashes(bytes: &[char], from: usize) -> Option<u32> {
-    let mut n = 0;
-    let mut i = from;
-    while bytes.get(i) == Some(&'#') {
-        n += 1;
-        i += 1;
-    }
-    if n > 0 && bytes.get(i) == Some(&'"') {
-        Some(n)
-    } else {
-        None
-    }
-}
-
-fn closes_raw_str(bytes: &[char], quote_at: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| bytes.get(quote_at + k) == Some(&'#'))
-}
-
-fn is_char_literal(bytes: &[char], quote_at: usize) -> bool {
-    // 'x' or '\x' / '\u{..}': look for a closing quote within a short
-    // window; lifetimes ('a, 'static) have none.
-    let mut i = quote_at + 1;
-    if bytes.get(i) == Some(&'\\') {
-        return true;
-    }
-    let mut steps = 0;
-    while let Some(&c) = bytes.get(i) {
-        if c == '\'' {
-            return steps == 1;
-        }
-        if c == '\n' || steps > 1 {
-            return false;
-        }
-        i += 1;
-        steps += 1;
-    }
-    false
-}
-
 /// A parsed `lint:allow(rule): reason` pragma.
 #[derive(Debug)]
 struct Allow {
@@ -361,17 +265,16 @@ struct Allow {
     raw: String,
 }
 
-fn parse_allows(lines: &[SplitLine]) -> Vec<Allow> {
+/// Extract pragmas from the comment stream. Doc comments never count:
+/// a pragma is an instruction to the tool, not documentation, so prose
+/// in `///` docs that quotes the syntax is ignored.
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut allows = Vec::new();
-    for (idx, l) in lines.iter().enumerate() {
-        // Only a comment that *is* a pragma counts; prose that merely
-        // mentions `lint:allow` (docs, this file) is ignored.
-        let comment = l.comment.trim();
-        if !comment.starts_with("lint:allow") {
+    for c in comments {
+        if c.doc || !c.text.starts_with("lint:allow") {
             continue;
         }
-        let pos = 0;
-        let rest = &comment[pos + "lint:allow".len()..];
+        let rest = &c.text["lint:allow".len()..];
         let mut rule = None;
         let mut has_reason = false;
         if let Some(open) = rest.find('(') {
@@ -385,11 +288,11 @@ fn parse_allows(lines: &[SplitLine]) -> Vec<Allow> {
             }
         }
         allows.push(Allow {
-            line: idx + 1,
+            line: c.line,
             rule,
             has_reason,
             used: false,
-            raw: comment[pos..].trim().to_string(),
+            raw: c.text.clone(),
         });
     }
     allows
@@ -411,240 +314,498 @@ fn is_allowed(allows: &mut [Allow], rule: Rule, finding_line: usize) -> bool {
     false
 }
 
-/// Token-level scan state shared by the rules: tracks brace depth and
-/// `#[cfg(test)]` regions so in-file unit-test modules are exempt from
-/// the library-only rules.
-struct Regions {
-    depth: i64,
-    pending_cfg_test: bool,
-    /// While `Some(d)`, code at depth > d belongs to a test region.
-    test_above: Option<i64>,
-}
+/// Paths (workspace-relative, `/`-separated suffixes) where `float-ord`
+/// does not apply: the approved total-order helper itself.
+const FLOAT_ORD_EXEMPT: [&str; 1] = ["crates/geom/src/order.rs"];
 
-impl Regions {
-    fn new() -> Self {
-        Regions {
-            depth: 0,
-            pending_cfg_test: false,
-            test_above: None,
-        }
-    }
-
-    /// Advance over one code line; returns whether the *start* of this
-    /// line is inside a `#[cfg(test)]` region.
-    fn advance(&mut self, code: &str) -> bool {
-        let in_test_at_start = self.test_above.is_some_and(|d| self.depth > d);
-        if code.contains("#[cfg(test)]") && self.test_above.is_none() {
-            self.pending_cfg_test = true;
-        }
-        for c in code.chars() {
-            match c {
-                '{' => {
-                    if self.pending_cfg_test && self.test_above.is_none() {
-                        self.test_above = Some(self.depth);
-                        self.pending_cfg_test = false;
-                    }
-                    self.depth += 1;
-                }
-                '}' => {
-                    self.depth -= 1;
-                    if let Some(d) = self.test_above {
-                        if self.depth <= d {
-                            self.test_above = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        in_test_at_start || self.test_above.is_some_and(|d| self.depth > d)
-    }
-}
-
-/// Does this code line compare against a float literal with `==`/`!=`?
-/// Returns the offending literal when found.
-fn float_eq_literal(code: &str) -> Option<String> {
-    let chars: Vec<char> = code.chars().collect();
-    let n = chars.len();
-    let mut i = 0;
-    while i + 1 < n {
-        let (a, b) = (chars[i], chars[i + 1]);
-        let is_eq = (a == '=' || a == '!') && b == '=';
-        // Skip `<=`, `>=`, `==` as part of `===`-like runs (not Rust),
-        // and `=>`/`->`.
-        let prev = if i > 0 { chars[i - 1] } else { ' ' };
-        if is_eq && prev != '<' && prev != '>' && prev != '=' && chars.get(i + 2) != Some(&'=') {
-            let left = token_before(&chars, i);
-            let right = token_after(&chars, i + 2);
-            for tok in [left, right].into_iter().flatten() {
-                if is_float_literal(&tok) {
-                    return Some(tok);
-                }
-            }
-        }
-        i += 1;
-    }
-    None
-}
-
-fn token_before(chars: &[char], mut i: usize) -> Option<String> {
-    while i > 0 && chars[i - 1] == ' ' {
-        i -= 1;
-    }
-    let end = i;
-    while i > 0
-        && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '.' || chars[i - 1] == '_')
-    {
-        i -= 1;
-    }
-    if i == end {
-        None
-    } else {
-        Some(chars[i..end].iter().collect())
-    }
-}
-
-fn token_after(chars: &[char], mut i: usize) -> Option<String> {
-    while i < chars.len() && chars[i] == ' ' {
-        i += 1;
-    }
-    if chars.get(i) == Some(&'-') {
-        i += 1;
-    }
-    let start = i;
-    while i < chars.len()
-        && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
-    {
-        i += 1;
-    }
-    if i == start {
-        None
-    } else {
-        Some(chars[start..i].iter().collect())
-    }
-}
-
-fn is_float_literal(tok: &str) -> bool {
-    let t = tok
-        .trim_end_matches("f64")
-        .trim_end_matches("f32")
-        .trim_end_matches('_');
-    if t.is_empty() {
-        return false;
-    }
-    let mut saw_digit = false;
-    let mut saw_dot = false;
-    for c in t.chars() {
-        match c {
-            '0'..='9' => saw_digit = true,
-            '.' => {
-                if saw_dot {
-                    return false; // method chain like `a.b.c`
-                }
-                saw_dot = true;
-            }
-            '_' => {}
-            'e' | 'E' => {} // exponent
-            _ => return false,
-        }
-    }
-    saw_digit && (saw_dot || tok.ends_with("f64") || tok.ends_with("f32"))
-}
-
-const PANIC_TOKENS: [&str; 6] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
+/// Crates whose *public* API boundaries must speak the `units` newtypes.
+const RAW_QUANTITY_CRATES: [&str; 4] = [
+    "crates/core/src/",
+    "crates/graph/src/",
+    "crates/orienteering/src/",
+    "crates/sim/src/",
 ];
 
-const NONDET_TOKENS: [&str; 5] = [
+/// Where `unit-unwrap` patrols: the planner core, which owns the hot
+/// paths that are allowed to drop to raw `f64` — but only inside the
+/// declared perf-critical modules below.
+const UNIT_UNWRAP_CRATES: [&str; 1] = ["crates/core/src/"];
+
+/// Declared perf-critical modules (see DESIGN.md §9): inner loops here
+/// may hold raw `f64` and call `.value()` freely; the unit types guard
+/// their *boundaries* instead.
+pub const PERF_CRITICAL_MODULES: [&str; 8] = [
+    "crates/core/src/greedy.rs",
+    "crates/core/src/alg2.rs",
+    "crates/core/src/alg3.rs",
+    "crates/core/src/benchmark.rs",
+    "crates/core/src/tourutil.rs",
+    "crates/core/src/multi.rs",
+    "crates/core/src/sweep.rs",
+    "crates/core/src/polish.rs",
+];
+
+/// The sanctioned homes for `env::var`: the threading configuration
+/// helper (`UAVDC_THREADS`).
+const ENV_READ_SANCTIONED: [&str; 1] = ["crates/core/src/greedy.rs"];
+
+/// Dimension vocabulary for `raw-quantity`: an identifier *word* (after
+/// `_`/camelCase splitting) matching one of these marks the identifier
+/// as dimension-named. Plural forms are listed explicitly.
+const DIMENSION_WORDS: [&str; 36] = [
+    "energy",
+    "energies",
+    "budget",
+    "budgets",
+    "dist",
+    "dists",
+    "distance",
+    "distances",
+    "len",
+    "lens",
+    "length",
+    "lengths",
+    "t",
+    "time",
+    "times",
+    "duration",
+    "durations",
+    "sojourn",
+    "speed",
+    "speeds",
+    "velocity",
+    "rate",
+    "rates",
+    "bandwidth",
+    "radius",
+    "radii",
+    "power",
+    "capacity",
+    "capacities",
+    "vol",
+    "volume",
+    "volumes",
+    "meters",
+    "joules",
+    "seconds",
+    "headroom",
+];
+
+/// The unit newtypes exported by `uavdc-net::units`.
+const UNIT_TYPES: [&str; 8] = [
+    "Joules",
+    "Seconds",
+    "Meters",
+    "MegaBytes",
+    "Watts",
+    "MetersPerSecond",
+    "MegaBytesPerSecond",
+    "JoulesPerMeter",
+];
+
+fn is_dimension_named(ident: &str) -> bool {
+    parser::ident_words(ident)
+        .iter()
+        .any(|w| DIMENSION_WORDS.contains(&w.as_str()))
+}
+
+fn path_in(norm: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| norm.contains(p))
+}
+
+fn path_ends(norm: &str, suffixes: &[&str]) -> bool {
+    suffixes.iter().any(|p| norm.ends_with(p))
+}
+
+const PANIC_IDENTS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const NONDET_IDENTS: [&str; 5] = [
     "thread_rng",
     "from_entropy",
     "HashMap",
     "HashSet",
     "RandomState",
 ];
+const FLOAT_ASSERTS: [&str; 4] = [
+    "assert_eq",
+    "assert_ne",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
 
-/// Paths (workspace-relative, `/`-separated) where `float-ord` does not
-/// apply: the approved total-order helper itself.
-const FLOAT_ORD_EXEMPT: [&str; 1] = ["crates/geom/src/order.rs"];
+/// Is token `j` (skipping one leading unary minus) a float literal?
+fn float_lit_at(toks: &[Tok], mut j: usize) -> Option<&Tok> {
+    if toks.get(j).is_some_and(|t| t.is_punct("-")) {
+        j += 1;
+    }
+    toks.get(j).filter(|t| t.kind == TokKind::Float)
+}
+
+/// Do the tokens ending at `i` (exclusive) spell `.value()`?
+fn value_call_ends_at(toks: &[Tok], i: usize) -> bool {
+    i >= 4
+        && toks[i - 1].is_punct(")")
+        && toks[i - 2].is_punct("(")
+        && toks[i - 3].is_ident("value")
+        && toks[i - 4].is_punct(".")
+}
+
+/// Do the tokens starting at `j` (skipping a unary minus) begin an
+/// `ident.value()` chain?
+fn value_call_starts_at(toks: &[Tok], mut j: usize) -> bool {
+    if toks.get(j).is_some_and(|t| t.is_punct("-")) {
+        j += 1;
+    }
+    toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+        && toks.get(j + 1).is_some_and(|t| t.is_punct("."))
+        && toks.get(j + 2).is_some_and(|t| t.is_ident("value"))
+        && toks.get(j + 3).is_some_and(|t| t.is_punct("("))
+}
 
 /// Scan one file's contents. `display_path` is used for reports and for
-/// the `float-ord` exemption; `kind` decides which rules apply.
-pub fn scan_source(display_path: &Path, source: &str, kind: FileKind) -> Vec<Finding> {
-    let lines = split_source(source);
-    let mut allows = parse_allows(&lines);
-    let mut findings = Vec::new();
+/// the path-scoped rules; `kind` decides which rules apply; `scope`
+/// decides whether crate scoping restricts the dimension rules.
+pub fn scan_source(
+    display_path: &Path,
+    source: &str,
+    kind: FileKind,
+    scope: ScanScope,
+) -> Vec<Finding> {
+    let lexed: Lexed = lexer::lex(source);
+    let model: Model = parser::parse(&lexed.toks);
+    let toks = &lexed.toks[..];
+    let mut allows = parse_allows(&lexed.comments);
+    let mut findings: Vec<Finding> = Vec::new();
     let norm = display_path.to_string_lossy().replace('\\', "/");
-    let float_ord_exempt = FLOAT_ORD_EXEMPT.iter().any(|p| norm.ends_with(p));
-    let mut regions = Regions::new();
 
-    for (idx, l) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let in_test = regions.advance(&l.code);
-        let code = l.code.as_str();
+    let float_ord_exempt = path_ends(&norm, &FLOAT_ORD_EXEMPT);
+    let force = scope == ScanScope::ForceAll;
+    let raw_quantity_in_scope = force || path_in(&norm, &RAW_QUANTITY_CRATES);
+    let unit_unwrap_in_scope =
+        (force || path_in(&norm, &UNIT_UNWRAP_CRATES)) && !path_ends(&norm, &PERF_CRITICAL_MODULES);
+    let env_read_sanctioned = path_ends(&norm, &ENV_READ_SANCTIONED);
+    let library = kind == FileKind::Library;
+
+    let mut push = |allows: &mut [Allow], line: usize, rule: Rule, message: String| {
+        if !is_allowed(allows, rule, line) {
+            findings.push(Finding {
+                path: display_path.to_path_buf(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // --- Token-stream rules -------------------------------------------
+    for (i, t) in toks.iter().enumerate() {
+        let in_test = model.tok_in_test[i];
+        let lib_code = library && !in_test;
 
         // float-ord: applies to all code, test or not.
         if !float_ord_exempt {
-            if code.contains("partial_cmp") && !is_allowed(&mut allows, Rule::FloatOrd, lineno) {
-                findings.push(Finding {
-                    path: display_path.to_path_buf(),
-                    line: lineno,
-                    rule: Rule::FloatOrd,
-                    message: "`partial_cmp` is NaN-unsafe; use uavdc_geom::cmp_f64 / cmp_f64_desc / TotalF64".into(),
-                });
+            if t.is_ident("partial_cmp") {
+                push(
+                    &mut allows,
+                    t.line,
+                    Rule::FloatOrd,
+                    "`partial_cmp` is NaN-unsafe; use uavdc_geom::cmp_f64 / cmp_f64_desc / TotalF64"
+                        .into(),
+                );
             }
-            if let Some(lit) = float_eq_literal(code) {
-                if !is_allowed(&mut allows, Rule::FloatOrd, lineno) {
-                    findings.push(Finding {
-                        path: display_path.to_path_buf(),
-                        line: lineno,
-                        rule: Rule::FloatOrd,
-                        message: format!(
+            if t.is_punct("==") || t.is_punct("!=") {
+                let lit = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                    .then(|| toks[i - 1].text.clone())
+                    .or_else(|| float_lit_at(toks, i + 1).map(|x| x.text.clone()));
+                if let Some(lit) = lit {
+                    push(
+                        &mut allows,
+                        t.line,
+                        Rule::FloatOrd,
+                        format!(
                             "exact float comparison against `{lit}`; compare with a tolerance (uavdc_geom::approx_eq) or justify with lint:allow"
                         ),
-                    });
+                    );
                 }
             }
         }
 
-        let library_code = kind == FileKind::Library && !in_test;
-
-        if library_code {
-            for tok in PANIC_TOKENS {
-                if code.contains(tok) && !is_allowed(&mut allows, Rule::PanicSite, lineno) {
-                    findings.push(Finding {
-                        path: display_path.to_path_buf(),
-                        line: lineno,
-                        rule: Rule::PanicSite,
-                        message: format!(
-                            "`{}` in library code can abort a planner mid-tour; return a typed error or justify with lint:allow",
-                            tok.trim_start_matches('.')
-                        ),
-                    });
-                    break; // one panic finding per line is enough
-                }
+        if lib_code {
+            // panic-site.
+            if t.kind == TokKind::Ident
+                && PANIC_IDENTS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|x| x.is_punct("!"))
+            {
+                push(
+                    &mut allows,
+                    t.line,
+                    Rule::PanicSite,
+                    format!(
+                        "`{}!` in library code can abort a planner mid-tour; return a typed error or justify with lint:allow",
+                        t.text
+                    ),
+                );
             }
-            for tok in NONDET_TOKENS {
-                if code.contains(tok) && !is_allowed(&mut allows, Rule::Nondeterminism, lineno) {
-                    findings.push(Finding {
-                        path: display_path.to_path_buf(),
-                        line: lineno,
-                        rule: Rule::Nondeterminism,
-                        message: format!(
-                            "`{tok}` is a nondeterminism hazard (unseeded RNG or hash-order iteration); use seeded RNGs / BTree containers or justify with lint:allow"
-                        ),
-                    });
-                    break;
+            if t.is_punct(".")
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|x| x.is_ident("unwrap") || x.is_ident("expect"))
+                && toks.get(i + 2).is_some_and(|x| x.is_punct("("))
+            {
+                push(
+                    &mut allows,
+                    toks[i + 1].line,
+                    Rule::PanicSite,
+                    format!(
+                        "`{}()` in library code can abort a planner mid-tour; return a typed error or justify with lint:allow",
+                        toks[i + 1].text
+                    ),
+                );
+            }
+
+            // nondeterminism.
+            if t.kind == TokKind::Ident && NONDET_IDENTS.contains(&t.text.as_str()) {
+                push(
+                    &mut allows,
+                    t.line,
+                    Rule::Nondeterminism,
+                    format!(
+                        "`{}` is a nondeterminism hazard (unseeded RNG or hash-order iteration); use seeded RNGs / BTree containers or justify with lint:allow",
+                        t.text
+                    ),
+                );
+            }
+
+            // env-read.
+            if !env_read_sanctioned
+                && t.is_ident("env")
+                && toks.get(i + 1).is_some_and(|x| x.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|x| x.is_ident("var"))
+            {
+                push(
+                    &mut allows,
+                    t.line,
+                    Rule::EnvRead,
+                    "`env::var` makes planner behaviour depend on ambient state; thread configuration through explicit parameters or justify with lint:allow"
+                        .into(),
+                );
+            }
+
+            // unit-unwrap.
+            if unit_unwrap_in_scope {
+                if t.is_punct(".")
+                    && toks.get(i + 1).is_some_and(|x| x.is_ident("value"))
+                    && toks.get(i + 2).is_some_and(|x| x.is_punct("("))
+                    && toks.get(i + 3).is_some_and(|x| x.is_punct(")"))
+                {
+                    push(
+                        &mut allows,
+                        t.line,
+                        Rule::UnitUnwrap,
+                        "`.value()` escapes the unit layer; keep raw-f64 math inside a declared perf-critical module (DESIGN.md \u{a7}9) or justify with lint:allow"
+                            .into(),
+                    );
+                }
+                // `Unit(expr).0`: close paren directly before `.0`, whose
+                // matching open is preceded by a unit type name.
+                if t.is_punct(".")
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|x| x.kind == TokKind::Int && x.text == "0")
+                    && i > 0
+                    && toks[i - 1].is_punct(")")
+                {
+                    let mut depth = 0i64;
+                    let mut k = i - 1;
+                    loop {
+                        match toks[k].text.as_str() {
+                            ")" => depth += 1,
+                            "(" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if k == 0 {
+                            break;
+                        }
+                        k -= 1;
+                    }
+                    if k > 0
+                        && toks[k - 1].kind == TokKind::Ident
+                        && UNIT_TYPES.contains(&toks[k - 1].text.as_str())
+                    {
+                        push(
+                            &mut allows,
+                            t.line,
+                            Rule::UnitUnwrap,
+                            format!(
+                                "`{}(..).0` escapes the unit layer; keep raw-f64 math inside a declared perf-critical module (DESIGN.md \u{a7}9) or justify with lint:allow",
+                                toks[k - 1].text
+                            ),
+                        );
+                    }
                 }
             }
         }
     }
 
-    // Meta-rules: malformed or unused pragmas.
+    // --- Item-model rules ---------------------------------------------
+    if raw_quantity_in_scope {
+        for f in &model.fns {
+            if !f.is_pub || f.in_test || !library {
+                continue;
+            }
+            for p in &f.params {
+                if parser::type_has_f64(&p.ty) && p.names.iter().any(|n| is_dimension_named(n)) {
+                    let name = p
+                        .names
+                        .iter()
+                        .find(|n| is_dimension_named(n))
+                        .cloned()
+                        .unwrap_or_default();
+                    push(
+                        &mut allows,
+                        p.line,
+                        Rule::RawQuantity,
+                        format!(
+                            "public fn `{}` takes dimension-named `{name}` as bare f64; use the uavdc-net units newtypes (Joules, Meters, Seconds, \u{2026}) at API boundaries",
+                            f.name
+                        ),
+                    );
+                }
+            }
+            if let Some(ret) = &f.ret {
+                if parser::type_has_f64(ret) && is_dimension_named(&f.name) {
+                    push(
+                        &mut allows,
+                        f.line,
+                        Rule::RawQuantity,
+                        format!(
+                            "public fn `{}` returns a dimension-named quantity as bare f64; use the uavdc-net units newtypes at API boundaries",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+        for fld in &model.fields {
+            if fld.is_pub
+                && !fld.in_test
+                && library
+                && parser::type_has_f64(&fld.ty)
+                && is_dimension_named(&fld.name)
+            {
+                push(
+                    &mut allows,
+                    fld.line,
+                    Rule::RawQuantity,
+                    format!(
+                        "public field `{}.{}` holds a dimension-named quantity as bare f64; use the uavdc-net units newtypes",
+                        fld.owner, fld.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // float-eq: per-function f64 symbol tables.
+    if library {
+        for f in &model.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((lo, hi)) = f.body else { continue };
+            let syms = parser::f64_symbols(f, toks);
+            let is_sym = |t: &Tok| t.kind == TokKind::Ident && syms.iter().any(|s| s == &t.text);
+            // A symbol directly followed by `.` or `(` is a method call /
+            // field access / call whose result type is unknown — not an
+            // f64 operand (`data.len()` must not count as float).
+            let sym_operand = |j: usize| {
+                toks.get(j).is_some_and(&is_sym)
+                    && !toks
+                        .get(j + 1)
+                        .is_some_and(|t| t.is_punct(".") || t.is_punct("(") || t.is_punct("::"))
+            };
+            let mut i = lo;
+            while i < hi.min(toks.len()) {
+                let t = &toks[i];
+                if (t.is_punct("==") || t.is_punct("!=")) && !model.tok_in_test[i] {
+                    // Literal comparisons are float-ord's territory.
+                    let lit_adjacent = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                        || float_lit_at(toks, i + 1).is_some();
+                    let left = i > 0 && (sym_operand(i - 1) || value_call_ends_at(toks, i));
+                    let right = {
+                        let j = if toks.get(i + 1).is_some_and(|t| t.is_punct("-")) {
+                            i + 2
+                        } else {
+                            i + 1
+                        };
+                        sym_operand(j) || value_call_starts_at(toks, i + 1)
+                    };
+                    if !lit_adjacent && (left || right) {
+                        push(
+                            &mut allows,
+                            t.line,
+                            Rule::FloatEq,
+                            format!(
+                                "`{}` on f64 values outside #[cfg(test)]; compare with a tolerance (uavdc_geom::approx_eq) or justify with lint:allow",
+                                t.text
+                            ),
+                        );
+                    }
+                }
+                // assert_eq!/assert_ne! on float operands in library code.
+                if t.kind == TokKind::Ident
+                    && FLOAT_ASSERTS.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|x| x.is_punct("!"))
+                    && toks.get(i + 2).is_some_and(|x| x.is_punct("("))
+                    && !model.tok_in_test[i]
+                {
+                    let mut depth = 0i64;
+                    let mut j = i + 2;
+                    let mut floaty = false;
+                    while j < hi.min(toks.len()) {
+                        match toks[j].text.as_str() {
+                            "(" => depth += 1,
+                            ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if toks[j].kind == TokKind::Float
+                            || sym_operand(j)
+                            || (toks[j].is_ident("value")
+                                && toks.get(j + 1).is_some_and(|x| x.is_punct("(")))
+                        {
+                            floaty = true;
+                        }
+                        j += 1;
+                    }
+                    if floaty {
+                        push(
+                            &mut allows,
+                            t.line,
+                            Rule::FloatEq,
+                            format!(
+                                "`{}!` on float operands outside #[cfg(test)]; use a tolerance check or justify with lint:allow",
+                                t.text
+                            ),
+                        );
+                    }
+                    i = j;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // --- Meta-rules: malformed or unused pragmas ----------------------
     for a in &allows {
         if a.rule.is_none() || !a.has_reason {
             findings.push(Finding {
@@ -666,7 +827,15 @@ pub fn scan_source(display_path: &Path, source: &str, kind: FileKind) -> Vec<Fin
         }
     }
 
-    findings.sort_by_key(|x| x.line);
+    // Stable order; collapse duplicate (line, rule) hits from multiple
+    // sites on one line.
+    findings.sort_by(|a, b| {
+        a.line
+            .cmp(&b.line)
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     findings
 }
 
@@ -700,15 +869,26 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 }
 
 /// Scan every `.rs` file under `root` (classification by path) and
-/// return all findings, sorted by path then line.
+/// return all findings, sorted by path, line, rule, message.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for file in collect_rs_files(root)? {
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
         let source = std::fs::read_to_string(&file)?;
-        findings.extend(scan_source(&rel, &source, classify(&rel)));
+        findings.extend(scan_source(
+            &rel,
+            &source,
+            classify(&rel),
+            ScanScope::Workspace,
+        ));
     }
-    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
     Ok(findings)
 }
 
@@ -716,8 +896,9 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
 ///
 /// Usage: `uavdc-lint [--json] [--list-rules] [paths…]`. With no paths,
 /// scans the workspace this crate is part of. Explicit paths are
-/// scanned with `Library` strictness regardless of location, so
-/// fixture files under `tests/` still produce findings.
+/// scanned with `Library` strictness and `ForceAll` scope regardless of
+/// location, so fixture files under `tests/` still produce findings for
+/// every rule.
 pub fn run_cli() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
@@ -771,7 +952,12 @@ pub fn run_cli() -> i32 {
             };
             for t in targets {
                 match std::fs::read_to_string(&t) {
-                    Ok(src) => all.extend(scan_source(&t, &src, FileKind::Library)),
+                    Ok(src) => all.extend(scan_source(
+                        &t,
+                        &src,
+                        FileKind::Library,
+                        ScanScope::ForceAll,
+                    )),
                     Err(e) => {
                         eprintln!("uavdc-lint: reading {}: {e}", t.display());
                         return 2;
@@ -779,13 +965,20 @@ pub fn run_cli() -> i32 {
                 }
             }
         }
+        all.sort_by(|a, b| {
+            a.path
+                .cmp(&b.path)
+                .then(a.line.cmp(&b.line))
+                .then(a.rule.cmp(&b.rule))
+                .then(a.message.cmp(&b.message))
+        });
         all
     };
 
-    for f in &findings {
-        if json {
-            println!("{}", f.to_json());
-        } else {
+    if json {
+        println!("{}", report_json(&findings));
+    } else {
+        for f in &findings {
             println!("{f}");
         }
     }
@@ -814,7 +1007,21 @@ mod tests {
     use super::*;
 
     fn scan_lib(src: &str) -> Vec<Finding> {
-        scan_source(Path::new("crates/demo/src/lib.rs"), src, FileKind::Library)
+        scan_source(
+            Path::new("crates/demo/src/lib.rs"),
+            src,
+            FileKind::Library,
+            ScanScope::ForceAll,
+        )
+    }
+
+    fn scan_scoped(path: &str, src: &str) -> Vec<Finding> {
+        scan_source(
+            Path::new(path),
+            src,
+            classify(Path::new(path)),
+            ScanScope::Workspace,
+        )
     }
 
     #[test]
@@ -828,14 +1035,29 @@ mod tests {
     }
 
     #[test]
-    fn float_eq_detects_literals_not_ints_or_methods() {
-        assert!(float_eq_literal("x == 0.0").is_some());
-        assert!(float_eq_literal("0.5f64 != y").is_some());
-        assert!(float_eq_literal("x == 1e-9").is_none()); // no dot, suffix-less: ambiguous, skipped
-        assert!(float_eq_literal("n == 3").is_none());
-        assert!(float_eq_literal("a.b == c.d").is_none());
-        assert!(float_eq_literal("x <= 0.5").is_none());
-        assert!(float_eq_literal("x >= 0.5").is_none());
+    fn float_eq_literal_detection_via_tokens() {
+        // Literals (including exponent-only forms) are flagged; ints,
+        // tuple-field access, and ordered comparisons are not.
+        assert!(scan_lib("fn f(x: f64) -> bool { x == 0.0 }\n")
+            .iter()
+            .any(|x| x.rule == Rule::FloatOrd));
+        assert!(scan_lib("fn f(y: f64) -> bool { 0.5f64 != y }\n")
+            .iter()
+            .any(|x| x.rule == Rule::FloatOrd));
+        assert!(scan_lib("fn f(x: f64) -> bool { x == 1e-9 }\n")
+            .iter()
+            .any(|x| x.rule == Rule::FloatOrd));
+        assert!(scan_lib("fn f(n: u32) -> bool { n == 3 }\n")
+            .iter()
+            .all(|x| x.rule != Rule::FloatOrd));
+        assert!(
+            scan_lib("fn f(a: (u8, (u8, u8))) -> bool { a.1.0 == a.1.1 }\n")
+                .iter()
+                .all(|x| x.rule != Rule::FloatOrd)
+        );
+        assert!(scan_lib("fn f(x: f64) -> bool { x <= 0.5 }\n")
+            .iter()
+            .all(|x| x.rule != Rule::FloatOrd));
     }
 
     #[test]
@@ -849,6 +1071,7 @@ mod tests {
             Path::new("crates/demo/tests/t.rs"),
             "fn g() { None::<u8>.unwrap(); }\n",
             classify(Path::new("crates/demo/tests/t.rs")),
+            ScanScope::Workspace,
         );
         assert!(f.is_empty(), "integration tests are exempt: {f:?}");
     }
@@ -883,6 +1106,14 @@ mod tests {
     }
 
     #[test]
+    fn doc_comments_are_never_pragmas() {
+        // Doc prose quoting the pragma syntax must not register as an
+        // (unused) pragma.
+        let src = "/// Suppress with `lint:allow(panic-site): reason`.\nfn f() {}\n";
+        assert!(scan_lib(src).is_empty(), "{:?}", scan_lib(src));
+    }
+
+    #[test]
     fn comments_and_strings_never_match() {
         let src = "// a.partial_cmp(b).unwrap() in a comment\nfn f() -> &'static str { \"partial_cmp .unwrap() HashMap\" }\n/* block .expect( */\n";
         assert!(scan_lib(src).is_empty(), "{:?}", scan_lib(src));
@@ -895,6 +1126,100 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, Rule::PanicSite);
         assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn raw_quantity_flags_dimension_named_f64_apis() {
+        let src = "pub fn tour_energy(order: &[usize]) -> f64 { 0.0 }\npub fn plan(budget: f64) {}\npub struct S { pub dist: f64, pub count: usize, dist_private: f64 }\n";
+        let f = scan_lib(src);
+        assert!(f.iter().any(|x| x.rule == Rule::RawQuantity && x.line == 1));
+        assert!(f.iter().any(|x| x.rule == Rule::RawQuantity && x.line == 2));
+        assert!(f.iter().any(|x| x.rule == Rule::RawQuantity && x.line == 3));
+        // `count: usize` and the private field are fine.
+        assert_eq!(f.iter().filter(|x| x.rule == Rule::RawQuantity).count(), 3);
+    }
+
+    #[test]
+    fn raw_quantity_ignores_unit_typed_and_restricted_apis() {
+        let src = "pub fn tour_energy(order: &[usize]) -> Joules { Joules::ZERO }\npub(crate) fn helper(budget: f64) {}\nfn private(dist: f64) {}\n";
+        let f = scan_lib(src);
+        assert!(f.iter().all(|x| x.rule != Rule::RawQuantity), "{f:?}");
+    }
+
+    #[test]
+    fn raw_quantity_respects_crate_scope_in_workspace_mode() {
+        let src = "pub fn travel_time(dist: f64) -> f64 { dist }\n";
+        // net is not a dimension-checked crate…
+        assert!(scan_scoped("crates/net/src/x.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::RawQuantity));
+        // …core is.
+        assert!(scan_scoped("crates/core/src/x.rs", src)
+            .iter()
+            .any(|x| x.rule == Rule::RawQuantity));
+    }
+
+    #[test]
+    fn unit_unwrap_flags_value_calls_outside_perf_modules() {
+        let src = "fn f(e: Joules) -> f64 { e.value() }\n";
+        assert!(scan_lib(src).iter().any(|x| x.rule == Rule::UnitUnwrap));
+        // Inside a declared perf-critical module nothing fires.
+        assert!(scan_scoped("crates/core/src/greedy.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::UnitUnwrap));
+        // With a justified pragma nothing fires either.
+        let allowed = "fn f(e: Joules) -> f64 {\n    // lint:allow(unit-unwrap): boundary formatting only\n    e.value()\n}\n";
+        assert!(scan_lib(allowed).is_empty(), "{:?}", scan_lib(allowed));
+    }
+
+    #[test]
+    fn unit_unwrap_flags_tuple_field_escape() {
+        let src = "fn f(x: f64) -> f64 { Joules(x).0 }\n";
+        assert!(scan_lib(src).iter().any(|x| x.rule == Rule::UnitUnwrap));
+        // Ordinary tuple access is not an escape.
+        let ok = "fn g(p: (f64, f64)) -> f64 { p.0 }\n";
+        assert!(scan_lib(ok).iter().all(|x| x.rule != Rule::UnitUnwrap));
+    }
+
+    #[test]
+    fn float_eq_flags_known_f64_comparisons_outside_tests() {
+        let src = "fn f(a: f64, b: f64) -> bool { a == b }\n";
+        assert!(scan_lib(src).iter().any(|x| x.rule == Rule::FloatEq));
+        let src = "fn f(e: Joules, g: Joules) -> bool { e.value() == g.value() }\n";
+        assert!(scan_lib(src).iter().any(|x| x.rule == Rule::FloatEq));
+        let src = "fn f(e: f64) { assert_eq!(e, 1.5); }\n";
+        assert!(scan_lib(src).iter().any(|x| x.rule == Rule::FloatEq));
+        // Int comparisons and test code are exempt.
+        assert!(scan_lib("fn f(a: usize, b: usize) -> bool { a == b }\n")
+            .iter()
+            .all(|x| x.rule != Rule::FloatEq));
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(a: f64, b: f64) -> bool { a == b }\n}\n";
+        assert!(scan_lib(test_src).iter().all(|x| x.rule != Rule::FloatEq));
+    }
+
+    #[test]
+    fn env_read_flags_ambient_configuration() {
+        let src = "fn f() { let _ = std::env::var(\"UAVDC_THREADS\"); }\n";
+        assert!(scan_lib(src).iter().any(|x| x.rule == Rule::EnvRead));
+        // The sanctioned threading helper is exempt by path.
+        assert!(scan_scoped("crates/core/src/greedy.rs", src)
+            .iter()
+            .all(|x| x.rule != Rule::EnvRead));
+    }
+
+    #[test]
+    fn report_json_has_stable_schema() {
+        let f = vec![Finding {
+            path: PathBuf::from("a.rs"),
+            line: 3,
+            rule: Rule::FloatOrd,
+            message: "m".into(),
+        }];
+        let j = report_json(&f);
+        assert!(j.starts_with("{\"schema\":\"uavdc-lint/2\""));
+        assert!(j.contains("\"rules\":[\"float-ord\",\"panic-site\",\"nondeterminism\",\"raw-quantity\",\"unit-unwrap\",\"float-eq\",\"env-read\"]"));
+        assert!(j.ends_with("\"count\":1}"));
     }
 
     #[test]

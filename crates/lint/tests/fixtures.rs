@@ -70,6 +70,49 @@ fn pragma_meta_rules_fire() {
 }
 
 #[test]
+fn raw_quantity_fixture_fails() {
+    let out = expect_rule("raw_quantity.rs_fixture", "raw-quantity");
+    // Mutation coverage: field, return type, and parameter each flagged.
+    assert_eq!(out.matches(": raw-quantity:").count(), 3, "stdout:\n{out}");
+    assert!(out.contains("Battery.capacity"), "field finding:\n{out}");
+    assert!(out.contains("returns"), "return-type finding:\n{out}");
+    assert!(out.contains("`distance`"), "parameter finding:\n{out}");
+}
+
+#[test]
+fn unit_unwrap_fixture_fails() {
+    let out = expect_rule("unit_unwrap.rs_fixture", "unit-unwrap");
+    // Both escape hatches: `.value()` and the `Unit(..).0` tuple access.
+    assert_eq!(out.matches(": unit-unwrap:").count(), 2, "stdout:\n{out}");
+    assert!(out.contains(".value()"), "stdout:\n{out}");
+    assert!(out.contains(".0"), "stdout:\n{out}");
+}
+
+#[test]
+fn float_eq_fixture_fails() {
+    let out = expect_rule("float_eq.rs_fixture", "float-eq");
+    // `assert_eq!` on floats and a bare `==` on f64 symbols.
+    assert_eq!(out.matches(": float-eq:").count(), 2, "stdout:\n{out}");
+    assert!(out.contains("assert_eq!"), "stdout:\n{out}");
+}
+
+#[test]
+fn env_read_fixture_fails() {
+    let out = expect_rule("env_read.rs_fixture", "env-read");
+    assert!(out.contains("ambient state"), "stdout:\n{out}");
+}
+
+#[test]
+fn lexer_regression_fixture_is_clean() {
+    // Rule-triggering text inside strings, comments, and doc comments —
+    // plus `pair.0.1` tuple-field chains — must never produce findings.
+    let path = fixture("lexer_regression.rs_fixture");
+    let (code, stdout) = run_lint(&[path.to_str().unwrap()]);
+    assert_eq!(code, 0, "lexer regression fixture must exit 0:\n{stdout}");
+    assert!(stdout.is_empty());
+}
+
+#[test]
 fn clean_fixture_passes() {
     let path = fixture("clean.rs_fixture");
     let (code, stdout) = run_lint(&[path.to_str().unwrap()]);
@@ -82,13 +125,71 @@ fn json_output_is_machine_readable() {
     let path = fixture("nondeterminism.rs_fixture");
     let (code, stdout) = run_lint(&["--json", path.to_str().unwrap()]);
     assert_eq!(code, 1);
-    for line in stdout.lines() {
-        assert!(
-            line.starts_with('{') && line.ends_with('}'),
-            "JSON object per line: {line}"
-        );
-        assert!(line.contains("\"rule\":\"nondeterminism\""), "line: {line}");
-    }
+    let doc = stdout.trim();
+    assert!(
+        doc.starts_with("{\"schema\":\"uavdc-lint/2\"") && doc.ends_with('}'),
+        "single schema-tagged JSON document: {doc}"
+    );
+    assert!(doc.contains("\"rule\":\"nondeterminism\""), "doc: {doc}");
+    assert!(doc.contains("\"count\":"), "doc: {doc}");
+}
+
+/// Golden test: `--json` over the four rule-mutation fixtures must emit
+/// byte-for-byte the committed snapshot — stable schema tag, stable rule
+/// list, findings sorted by (path, line, rule, message) regardless of
+/// argument order.
+#[test]
+fn json_report_matches_golden_snapshot() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden report");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    // Relative paths keep the report machine-independent; scrambled
+    // argument order proves the sort, not the CLI, fixes the ordering.
+    let out = Command::new(env!("CARGO_BIN_EXE_uavdc-lint"))
+        .current_dir(&dir)
+        .args([
+            "--json",
+            "unit_unwrap.rs_fixture",
+            "env_read.rs_fixture",
+            "raw_quantity.rs_fixture",
+            "float_eq.rs_fixture",
+        ])
+        .output()
+        .expect("spawn uavdc-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.as_ref(),
+        golden,
+        "JSON report drifted from tests/golden/report.json; if the change \
+         is intentional, regenerate the snapshot with:\n  \
+         cd crates/lint/tests/fixtures && cargo run -q -p uavdc-lint -- \
+         --json raw_quantity.rs_fixture float_eq.rs_fixture \
+         unit_unwrap.rs_fixture env_read.rs_fixture 2>/dev/null \
+         > ../golden/report.json"
+    );
+}
+
+#[test]
+fn list_rules_names_all_nine() {
+    let (code, stdout) = run_lint(&["--list-rules"]);
+    assert_eq!(code, 0);
+    let rules: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        rules,
+        [
+            "float-ord",
+            "panic-site",
+            "nondeterminism",
+            "raw-quantity",
+            "unit-unwrap",
+            "float-eq",
+            "env-read",
+            "unused-allow",
+            "malformed-allow",
+        ],
+        "stdout:\n{stdout}"
+    );
 }
 
 #[test]

@@ -10,6 +10,7 @@ pub struct OrienteeringInstance {
     depot: usize,
     /// Maximum total edge weight of the tour (the UAV's energy budget in
     /// the planner's use).
+    // lint:allow(raw-quantity): the orienteering layer is dimension-generic; uavdc-core supplies joules at the AuxGraph boundary
     pub budget: f64,
 }
 
@@ -20,6 +21,7 @@ impl OrienteeringInstance {
     /// Panics when `prize` length differs from the matrix size, the depot
     /// is out of range, any prize is negative/non-finite, or the budget is
     /// negative/non-finite.
+    // lint:allow(raw-quantity): the orienteering layer is dimension-generic; uavdc-core supplies joules at the AuxGraph boundary
     pub fn new(dist: DistMatrix, prize: Vec<f64>, depot: usize, budget: f64) -> Self {
         assert_eq!(prize.len(), dist.len(), "one prize per vertex");
         assert!(depot < dist.len().max(1), "depot {depot} out of range");
@@ -61,6 +63,7 @@ impl OrienteeringInstance {
 
     /// Edge weight between vertices.
     #[inline]
+    // lint:allow(raw-quantity): the orienteering layer is dimension-generic; uavdc-core supplies joules at the AuxGraph boundary
     pub fn dist(&self, u: usize, v: usize) -> f64 {
         self.dist.get(u, v)
     }

@@ -29,6 +29,7 @@ pub struct MissionReport {
     /// being uplinked. Lower = fresher data.
     pub mean_collection_latency: Seconds,
     /// Fraction of the battery left unused (0 for a depleted mission).
+    // lint:allow(raw-quantity): dimensionless fraction of capacity (0..1), not joules
     pub energy_headroom: f64,
 }
 

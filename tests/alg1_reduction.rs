@@ -36,7 +36,7 @@ fn cycle_cost_equals_hover_plus_travel_energy() {
         let b = aux.positions[tour[(k + 1) % tour.len()]];
         travel += a.distance(b) * per_m;
     }
-    let hover: f64 = tour.iter().map(|&v| aux.hover_energy[v]).sum();
+    let hover: f64 = tour.iter().map(|&v| aux.hover_energy[v].value()).sum();
     assert!(
         (cost - travel - hover).abs() < 1e-6 * (1.0 + cost),
         "cycle {cost} vs travel {travel} + hover {hover}"
