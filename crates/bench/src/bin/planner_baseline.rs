@@ -17,6 +17,12 @@
 //! exhaustive twin or performed more evaluations than the exhaustive
 //! bound — the CI regression tripwire. `--out PATH` overrides the output
 //! path (default `BENCH_planner.json` in the working directory).
+//!
+//! Set `UAVDC_OBS=1` to attach a [`uavdc_obs`] collecting recorder to
+//! every lazy run and embed its `RunReport` (spans, counters, histograms)
+//! as an `"obs"` object per entry. `--obs-overhead` instead measures the
+//! wall-clock cost of that recorder on the fig-4 δ = 5 m sweep point and
+//! prints the relative overhead (the <3 % budget in DESIGN.md §10).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,6 +34,7 @@ use uavdc_core::{
 use uavdc_net::generator::{uniform, ScenarioParams};
 use uavdc_net::units::Joules;
 use uavdc_net::Scenario;
+use uavdc_obs::{CollectingRecorder, Recorder};
 
 /// One planner × sweep-point × seed measurement (both engines).
 struct Entry {
@@ -39,6 +46,11 @@ struct Entry {
     lazy: PlanStats,
     exhaustive: PlanStats,
     plans_identical: bool,
+    /// FNV-1a fingerprint of the lazy plan (hex in the JSON).
+    plan_hash: u64,
+    /// Single-line `RunReport` JSON for the lazy run, when `UAVDC_OBS`
+    /// was set.
+    obs: Option<String>,
 }
 
 impl Entry {
@@ -55,15 +67,6 @@ impl Entry {
     }
 }
 
-fn plan_both(
-    scenario: &Scenario,
-    run: impl Fn(&Scenario, EngineMode) -> (CollectionPlan, PlanStats),
-) -> (PlanStats, PlanStats, bool) {
-    let (plan_lazy, lazy) = run(scenario, EngineMode::Lazy);
-    let (plan_full, exhaustive) = run(scenario, EngineMode::Exhaustive);
-    (lazy, exhaustive, plan_lazy == plan_full)
-}
-
 fn measure(
     figure: &'static str,
     x_label: &'static str,
@@ -71,25 +74,40 @@ fn measure(
     algorithm: &'static str,
     seed: u64,
     scenario: &Scenario,
-    run: impl Fn(&Scenario, EngineMode) -> (CollectionPlan, PlanStats),
+    run: impl Fn(&Scenario, EngineMode, &dyn Recorder) -> (CollectionPlan, PlanStats),
 ) -> Entry {
-    let (lazy, exhaustive, plans_identical) = plan_both(scenario, run);
+    // Only the lazy run is recorded: it is the engine the baseline
+    // gates, and the exhaustive twin's counters are already in the
+    // entry. Recording is per-entry so each sweep point gets its own
+    // report.
+    let (plan_lazy, lazy, obs) = if uavdc_obs::env_enabled() {
+        let rec = CollectingRecorder::new();
+        let (plan, stats) = run(scenario, EngineMode::Lazy, &rec);
+        let report = rec.report().to_json();
+        (plan, stats, Some(report))
+    } else {
+        let (plan, stats) = run(scenario, EngineMode::Lazy, &uavdc_obs::NOOP);
+        (plan, stats, None)
+    };
+    let (plan_full, exhaustive) = run(scenario, EngineMode::Exhaustive, &uavdc_obs::NOOP);
     Entry {
         figure,
         x_label,
         x,
         algorithm,
         seed,
+        plans_identical: plan_lazy == plan_full,
+        plan_hash: plan_lazy.fingerprint(),
         lazy,
         exhaustive,
-        plans_identical,
+        obs,
     }
 }
 
-/// A labelled planner closure running with a chosen engine.
+/// A labelled planner closure running with a chosen engine and recorder.
 type PlannerRun = (
     &'static str,
-    Box<dyn Fn(&Scenario, EngineMode) -> (CollectionPlan, PlanStats)>,
+    Box<dyn Fn(&Scenario, EngineMode, &dyn Recorder) -> (CollectionPlan, PlanStats)>,
 );
 
 /// The fig-4/5 planner roster (engine-aware planners only; Algorithm 1
@@ -98,42 +116,44 @@ fn overlap_roster(delta: f64) -> Vec<PlannerRun> {
     vec![
         (
             "Algorithm 2",
-            Box::new(move |s: &Scenario, engine| {
+            Box::new(move |s: &Scenario, engine, rec: &dyn Recorder| {
                 Alg2Planner::new(Alg2Config {
                     delta,
                     engine,
                     ..Alg2Config::default()
                 })
-                .plan_with_stats(s)
+                .plan_with_stats_obs(s, rec)
             }),
         ),
         (
             "Algorithm 3 (K=2)",
-            Box::new(move |s: &Scenario, engine| {
+            Box::new(move |s: &Scenario, engine, rec: &dyn Recorder| {
                 Alg3Planner::new(Alg3Config {
                     delta,
                     k: 2,
                     engine,
                     ..Alg3Config::default()
                 })
-                .plan_with_stats(s)
+                .plan_with_stats_obs(s, rec)
             }),
         ),
         (
             "Algorithm 3 (K=4)",
-            Box::new(move |s: &Scenario, engine| {
+            Box::new(move |s: &Scenario, engine, rec: &dyn Recorder| {
                 Alg3Planner::new(Alg3Config {
                     delta,
                     k: 4,
                     engine,
                     ..Alg3Config::default()
                 })
-                .plan_with_stats(s)
+                .plan_with_stats_obs(s, rec)
             }),
         ),
         (
             "Benchmark",
-            Box::new(|s: &Scenario, engine| BenchmarkPlanner.plan_with_stats(s, engine)),
+            Box::new(|s: &Scenario, engine, rec: &dyn Recorder| {
+                BenchmarkPlanner.plan_with_stats_obs(s, engine, rec)
+            }),
         ),
     ]
 }
@@ -156,7 +176,7 @@ fn run_sweeps(scale: f64, seeds: &[u64]) -> Vec<Entry> {
                 "Benchmark",
                 seed,
                 &scenario,
-                |s, engine| BenchmarkPlanner.plan_with_stats(s, engine),
+                |s, engine, rec| BenchmarkPlanner.plan_with_stats_obs(s, engine, rec),
             ));
         }
     }
@@ -239,7 +259,7 @@ fn aggregate<'a>(entries: impl Iterator<Item = &'a Entry>) -> (u64, u64, u64, u6
 fn render_json(entries: &[Entry], mode: &str, scale: f64, seeds: &[u64]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"uavdc-planner-baseline/1\",");
+    let _ = writeln!(out, "  \"schema\": \"uavdc-planner-baseline/2\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(
@@ -295,12 +315,16 @@ fn render_json(entries: &[Entry], mode: &str, scale: f64, seeds: &[u64]) -> Stri
 
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let obs_field = match &e.obs {
+            Some(report) => format!(", \"obs\": {report}"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
             "    {{\"figure\": \"{}\", \"{}\": {}, \"algorithm\": \"{}\", \"seed\": {}, \
              \"candidates\": {}, \"iterations\": {}, \"exhaustive_bound\": {}, \
              \"eval_reduction\": {}, \"wall_speedup\": {}, \"plans_identical\": {}, \
-             \"lazy\": {}, \"exhaustive\": {}}}{}",
+             \"plan_hash\": \"{:016x}\", \"lazy\": {}, \"exhaustive\": {}{}}}{}",
             e.figure,
             e.x_label,
             e.x,
@@ -312,13 +336,63 @@ fn render_json(entries: &[Entry], mode: &str, scale: f64, seeds: &[u64]) -> Stri
             json_f64(e.eval_reduction()),
             json_f64(e.wall_speedup()),
             e.plans_identical,
+            e.plan_hash,
             stats_json(&e.lazy),
             stats_json(&e.exhaustive),
+            obs_field,
             if i + 1 < entries.len() { "," } else { "" }
         );
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Measures the enabled-recorder overhead on the headline fig-4 δ = 5 m
+/// sweep point at full scale: every roster planner runs its lazy engine
+/// once with the no-op recorder and once with a collecting recorder, and
+/// the aggregate loop-wall-clock ratio is printed. Exits non-zero when
+/// the overhead exceeds `budget_pct`.
+fn obs_overhead(budget_pct: f64) {
+    let params = ScenarioParams::default();
+    let scenario = uniform(&params, 0x9a9e);
+    // Warm-up pass so neither side pays first-touch costs.
+    for (_, run) in overlap_roster(5.0) {
+        let _ = run(&scenario, EngineMode::Lazy, &uavdc_obs::NOOP);
+    }
+    // Best-of-R per side: single passes on a busy machine jitter by more
+    // than the effect under measurement; the minimum is the run least
+    // disturbed by the scheduler.
+    const REPS: usize = 5;
+    let mut noop_ns = u64::MAX;
+    let mut coll_ns = u64::MAX;
+    for _ in 0..REPS {
+        let mut pass_noop = 0u64;
+        let mut pass_coll = 0u64;
+        for (label, run) in overlap_roster(5.0) {
+            let (_, base) = run(&scenario, EngineMode::Lazy, &uavdc_obs::NOOP);
+            let rec = CollectingRecorder::new();
+            let (_, inst) = run(&scenario, EngineMode::Lazy, &rec);
+            assert_eq!(
+                base.counters.evaluations, inst.counters.evaluations,
+                "{label}: recorder changed the search"
+            );
+            pass_noop += base.setup_ns + base.loop_ns;
+            pass_coll += inst.setup_ns + inst.loop_ns;
+        }
+        noop_ns = noop_ns.min(pass_noop);
+        coll_ns = coll_ns.min(pass_coll);
+    }
+    let overhead = coll_ns as f64 / noop_ns.max(1) as f64 - 1.0;
+    eprintln!(
+        "obs overhead (fig4 delta=5m, full scale): noop {:.2} ms, collecting {:.2} ms, {:+.2}%",
+        noop_ns as f64 / 1e6,
+        coll_ns as f64 / 1e6,
+        overhead * 100.0
+    );
+    if overhead * 100.0 > budget_pct {
+        eprintln!("FAIL: overhead above the {budget_pct}% budget");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -330,13 +404,19 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" | "--check" => {}
+            "--obs-overhead" => {
+                obs_overhead(3.0);
+                return;
+            }
             "--out" if i + 1 < args.len() => {
                 i += 1;
                 out_path = args[i].clone();
             }
             bad => {
                 eprintln!("unknown argument: {bad}");
-                eprintln!("usage: planner_baseline [--quick] [--check] [--out PATH]");
+                eprintln!(
+                    "usage: planner_baseline [--quick] [--check] [--obs-overhead] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }

@@ -19,6 +19,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
+pub mod json;
+
 use std::time::Instant;
 use uavdc_core::{
     Alg1Config, Alg1Planner, Alg2Config, Alg2Planner, Alg3Config, Alg3Planner, BenchmarkPlanner,

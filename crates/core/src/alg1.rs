@@ -21,7 +21,8 @@ use crate::plan::{CollectionPlan, HoverStop};
 use crate::Planner;
 use uavdc_net::units::Seconds;
 use uavdc_net::{DeviceId, Scenario};
-use uavdc_orienteering::{solve, Backend, GraspConfig};
+use uavdc_obs::{Recorder, Span};
+use uavdc_orienteering::{solve_obs, Backend, GraspConfig};
 
 /// How candidates are prepared before the orienteering reduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -69,14 +70,15 @@ impl Alg1Planner {
     pub fn new(config: Alg1Config) -> Self {
         Alg1Planner { config }
     }
-}
 
-impl Planner for Alg1Planner {
-    fn name(&self) -> &'static str {
-        "Algorithm 1 (orienteering)"
-    }
+    /// Like [`Planner::plan`], reporting phase spans (`alg1/candidates`,
+    /// `alg1/aux_graph`, `alg1/orienteering`, `alg1/stitch`) and the
+    /// surviving candidate count to `rec`. The recorder never influences
+    /// planning: for any `rec` the plan is bit-identical to `plan`.
+    pub fn plan_obs(&self, scenario: &Scenario, rec: &dyn Recorder) -> CollectionPlan {
+        let root = Span::root(rec, "alg1");
 
-    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
+        let cand_span = root.child("candidates");
         let mut candidates = CandidateSet::build(scenario, self.config.delta);
         let candidates = match self.config.filter {
             CandidateFilter::Disjoint => candidates.disjoint_by_volume(scenario),
@@ -85,12 +87,21 @@ impl Planner for Alg1Planner {
                 candidates
             }
         };
+        drop(cand_span);
+        rec.add("alg1.candidates", candidates.candidates.len() as u64);
         if candidates.is_empty() {
             return CollectionPlan::empty();
         }
-        let aux = AuxGraph::build(scenario, &candidates);
-        let solution = solve(&aux.instance, self.config.backend);
 
+        let aux_span = root.child("aux_graph");
+        let aux = AuxGraph::build(scenario, &candidates);
+        drop(aux_span);
+
+        let solve_span = root.child("orienteering");
+        let solution = solve_obs(&aux.instance, self.config.backend, rec);
+        drop(solve_span);
+
+        let stitch_span = root.child("stitch");
         // Materialise the plan: visit the tour's candidates in order; each
         // device is collected (fully) at the first stop covering it.
         let b = scenario.radio.bandwidth;
@@ -117,6 +128,7 @@ impl Planner for Alg1Planner {
             });
         }
         let plan = CollectionPlan { stops };
+        drop(stitch_span);
         crate::validate::debug_check_plan(
             "Alg1Planner",
             scenario,
@@ -124,6 +136,16 @@ impl Planner for Alg1Planner {
             crate::validate::Profile::P1FullDisjoint,
         );
         plan
+    }
+}
+
+impl Planner for Alg1Planner {
+    fn name(&self) -> &'static str {
+        "Algorithm 1 (orienteering)"
+    }
+
+    fn plan(&self, scenario: &Scenario) -> CollectionPlan {
+        self.plan_obs(scenario, &uavdc_obs::NOOP)
     }
 }
 

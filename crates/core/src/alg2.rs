@@ -32,11 +32,12 @@ use crate::greedy::{
     self, DeviceIndex, EngineMode, EvalCounters, Fixup, InsertionCache, LazyHeap, PlanStats, Probe,
 };
 use crate::plan::{CollectionPlan, HoverStop};
-use crate::tourutil::{cheapest_insertion_point, christofides_order, closed_tour_length};
+use crate::tourutil::{cheapest_insertion_point, closed_tour_length};
 use crate::Planner;
 use uavdc_geom::Point2;
 use uavdc_net::units::Seconds;
 use uavdc_net::{DeviceId, Scenario};
+use uavdc_obs::{Recorder, Span};
 
 /// How the tour is re-planned as stops are added.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -190,6 +191,7 @@ impl<'a> GreedyState<'a> {
         capacity: f64,
         eta_h: f64,
         per_m: f64,
+        rec: &dyn Recorder,
     ) -> Option<Evaluation> {
         if !self.active[cand] {
             return None;
@@ -198,9 +200,10 @@ impl<'a> GreedyState<'a> {
         if vol <= 0.0 {
             return None;
         }
+        rec.add("alg2.christofides_retours", 1);
         let mut pts = self.tour_pts.clone();
         pts.push(self.candidates.candidates[cand].pos);
-        let order = christofides_order(&pts);
+        let order = crate::tourutil::christofides_order_obs(&pts, rec);
         let new_len = closed_tour_length(&crate::tourutil::apply_order(&pts, &order));
         let delta_len = (new_len - self.tour_len).max(0.0);
         let extra = t * eta_h + delta_len * per_m;
@@ -223,7 +226,13 @@ impl<'a> GreedyState<'a> {
     /// deactivate other exhausted candidates — the exhaustive path sweeps
     /// with [`GreedyState::deactivate_exhausted`], the lazy path reaches
     /// the same candidates through the device index.
-    fn commit(&mut self, eval: Evaluation, mode: TourMode, eta_h: f64) -> Vec<u32> {
+    fn commit(
+        &mut self,
+        eval: Evaluation,
+        mode: TourMode,
+        eta_h: f64,
+        rec: &dyn Recorder,
+    ) -> Vec<u32> {
         let cand = &self.candidates.candidates[eval.cand];
         let mut collected_here = Vec::new();
         let mut drained = Vec::new();
@@ -250,7 +259,8 @@ impl<'a> GreedyState<'a> {
             TourMode::PaperChristofides => {
                 self.tour_pts.push(cand.pos);
                 self.stop_of.push(stop_idx);
-                let order = christofides_order(&self.tour_pts);
+                rec.add("alg2.christofides_retours", 1);
+                let order = crate::tourutil::christofides_order_obs(&self.tour_pts, rec);
                 self.tour_pts = crate::tourutil::apply_order(&self.tour_pts, &order);
                 self.stop_of = crate::tourutil::apply_order(&self.stop_of, &order);
             }
@@ -353,6 +363,7 @@ fn best_evaluation(
     state: &GreedyState<'_>,
     mode: TourMode,
     parallel_threshold: usize,
+    rec: &dyn Recorder,
 ) -> Option<Evaluation> {
     let capacity = state.scenario.uav.capacity.value();
     let eta_h = state.scenario.uav.hover_power.value();
@@ -360,7 +371,9 @@ fn best_evaluation(
     let eval_one = |c: usize| -> Option<Evaluation> {
         match mode {
             TourMode::FastInsertion => state.evaluate_insertion(c, capacity, eta_h, per_m),
-            TourMode::PaperChristofides => state.evaluate_christofides(c, capacity, eta_h, per_m),
+            TourMode::PaperChristofides => {
+                state.evaluate_christofides(c, capacity, eta_h, per_m, rec)
+            }
         }
     };
     let n = state.candidates.len();
@@ -375,16 +388,18 @@ fn run_exhaustive(
     config: &Alg2Config,
     eta_h: f64,
     counters: &mut EvalCounters,
+    rec: &dyn Recorder,
 ) {
     let mut since_compact = 0;
     loop {
         counters.iterations += 1;
         counters.marginal_evals += state.candidates.len() as u64;
         counters.evaluations += state.candidates.len() as u64;
-        let Some(eval) = best_evaluation(state, config.tour_mode, config.parallel_threshold) else {
+        let Some(eval) = best_evaluation(state, config.tour_mode, config.parallel_threshold, rec)
+        else {
             break;
         };
-        state.commit(eval, config.tour_mode, eta_h);
+        state.commit(eval, config.tour_mode, eta_h, rec);
         state.deactivate_exhausted();
         since_compact += 1;
         if config.tour_mode == TourMode::FastInsertion && since_compact >= 8 {
@@ -408,6 +423,7 @@ fn run_lazy(
     config: &Alg2Config,
     eta_h: f64,
     counters: &mut EvalCounters,
+    rec: &dyn Recorder,
 ) {
     let scenario = state.scenario;
     let capacity = scenario.uav.capacity.value();
@@ -483,6 +499,7 @@ fn run_lazy(
             &mut pops,
         );
         counters.heap_pops += pops;
+        rec.observe("alg2.pops_per_iter", pops);
         let Some((winner, ratio)) = selected else {
             break;
         };
@@ -496,7 +513,7 @@ fn run_lazy(
             sojourn: cache_t[winner],
             insert_pos: pos,
         };
-        let drained = state.commit(eval, TourMode::FastInsertion, eta_h);
+        let drained = state.commit(eval, TourMode::FastInsertion, eta_h, rec);
         since_compact += 1;
 
         // Repair every active candidate's cached insertion delta in
@@ -520,6 +537,7 @@ fn run_lazy(
         // sweep would catch exactly these this iteration).
         epoch = epoch.wrapping_add(1);
         index.dirty_candidates(drained.iter().copied(), &mut stamp, epoch, &mut dirty);
+        rec.observe("alg2.dirty_batch", dirty.len() as u64);
         for &c in &dirty {
             let c = c as usize;
             if !state.active[c] {
@@ -605,7 +623,22 @@ impl Alg2Planner {
     /// Plans and returns the work/timing breakdown alongside the plan
     /// (consumed by the `planner_baseline` perf harness).
     pub fn plan_with_stats(&self, scenario: &Scenario) -> (CollectionPlan, PlanStats) {
+        self.plan_with_stats_obs(scenario, &uavdc_obs::NOOP)
+    }
+
+    /// Like [`plan_with_stats`](Alg2Planner::plan_with_stats), reporting
+    /// spans (`alg2/setup`, `alg2/loop`), end-of-run counters, and
+    /// per-iteration histograms to `rec`. With the no-op recorder this
+    /// is the same computation producing bit-identical plans
+    /// (property-tested in `tests/obs_noop_equivalence.rs`).
+    pub fn plan_with_stats_obs(
+        &self,
+        scenario: &Scenario,
+        rec: &dyn Recorder,
+    ) -> (CollectionPlan, PlanStats) {
+        let root = Span::root(rec, "alg2");
         let setup_start = std::time::Instant::now();
+        let setup_span = root.child("setup");
         let mut candidates = CandidateSet::build(scenario, self.config.delta);
         if self.config.prune_dominated {
             candidates.prune_dominated();
@@ -625,6 +658,7 @@ impl Alg2Planner {
             setup_ns: 0,
             loop_ns: 0,
         };
+        drop(setup_span);
         if candidates.is_empty() {
             stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
             return (CollectionPlan::empty(), stats);
@@ -633,13 +667,16 @@ impl Alg2Planner {
         let eta_h = scenario.uav.hover_power.value();
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
         let loop_start = std::time::Instant::now();
+        let loop_span = root.child("loop");
         match engine {
-            EngineMode::Lazy => run_lazy(&mut state, &self.config, eta_h, &mut stats.counters),
+            EngineMode::Lazy => run_lazy(&mut state, &self.config, eta_h, &mut stats.counters, rec),
             EngineMode::Exhaustive => {
-                run_exhaustive(&mut state, &self.config, eta_h, &mut stats.counters)
+                run_exhaustive(&mut state, &self.config, eta_h, &mut stats.counters, rec)
             }
         }
+        drop(loop_span);
         stats.loop_ns = loop_start.elapsed().as_nanos() as u64;
+        flush_counters(rec, &stats.counters);
         let plan = state.into_plan();
         crate::validate::debug_check_plan(
             "Alg2Planner",
@@ -649,6 +686,17 @@ impl Alg2Planner {
         );
         (plan, stats)
     }
+}
+
+/// Publishes the end-of-run engine counters under the `alg2.` namespace.
+fn flush_counters(rec: &dyn Recorder, c: &EvalCounters) {
+    rec.add("alg2.candidates", c.candidates as u64);
+    rec.add("alg2.iterations", c.iterations);
+    rec.add("alg2.evaluations", c.evaluations);
+    rec.add("alg2.marginal_evals", c.marginal_evals);
+    rec.add("alg2.delta_rescans", c.delta_rescans);
+    rec.add("alg2.fixups", c.fixups);
+    rec.add("alg2.heap_pops", c.heap_pops);
 }
 
 impl Planner for Alg2Planner {

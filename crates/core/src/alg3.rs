@@ -26,6 +26,7 @@ use crate::Planner;
 use uavdc_geom::Point2;
 use uavdc_net::units::{MegaBytes, Seconds};
 use uavdc_net::{DeviceId, Scenario};
+use uavdc_obs::{Recorder, Span};
 
 /// Configuration of [`Alg3Planner`].
 #[derive(Clone, Copy, Debug)]
@@ -381,6 +382,7 @@ fn run_lazy(
     eta_h: f64,
     max_iters: usize,
     counters: &mut EvalCounters,
+    rec: &dyn Recorder,
 ) {
     let scenario = state.scenario;
     let power = Power {
@@ -469,6 +471,7 @@ fn run_lazy(
             &mut pops,
         );
         counters.heap_pops += pops;
+        rec.observe("alg3.pops_per_iter", pops);
         let Some((winner, ratio)) = selected else {
             break;
         };
@@ -491,6 +494,11 @@ fn run_lazy(
             insert_pos,
         };
         let (got, drained, inserted_at) = state.commit(eval, eta_h);
+        if inserted_at.is_some() {
+            rec.add("alg3.tour_insertions", 1);
+        } else {
+            rec.add("alg3.sojourn_extensions", 1);
+        }
         if got <= 1e-9 {
             break;
         }
@@ -521,6 +529,7 @@ fn run_lazy(
         // Refresh marginals of candidates sharing a drained device.
         epoch = epoch.wrapping_add(1);
         index.dirty_candidates(drained.iter().copied(), &mut stamp, epoch, &mut dirty);
+        rec.observe("alg3.dirty_batch", dirty.len() as u64);
         for &c in &dirty {
             let c = c as usize;
             if !state.active[c] {
@@ -584,8 +593,23 @@ impl Alg3Planner {
     /// Plans and returns the work/timing breakdown alongside the plan
     /// (consumed by the `planner_baseline` perf harness).
     pub fn plan_with_stats(&self, scenario: &Scenario) -> (CollectionPlan, PlanStats) {
+        self.plan_with_stats_obs(scenario, &uavdc_obs::NOOP)
+    }
+
+    /// Like [`plan_with_stats`](Alg3Planner::plan_with_stats), reporting
+    /// spans (`alg3/setup`, `alg3/loop`), end-of-run counters, and
+    /// per-iteration histograms to `rec`. With the no-op recorder this
+    /// is the same computation producing bit-identical plans
+    /// (property-tested in `tests/obs_noop_equivalence.rs`).
+    pub fn plan_with_stats_obs(
+        &self,
+        scenario: &Scenario,
+        rec: &dyn Recorder,
+    ) -> (CollectionPlan, PlanStats) {
         assert!(self.config.k >= 1, "K must be at least 1");
+        let root = Span::root(rec, "alg3");
         let setup_start = std::time::Instant::now();
+        let setup_span = root.child("setup");
         let mut candidates = CandidateSet::build(scenario, self.config.delta);
         if self.config.prune_dominated {
             candidates.prune_dominated();
@@ -599,6 +623,7 @@ impl Alg3Planner {
             setup_ns: 0,
             loop_ns: 0,
         };
+        drop(setup_span);
         if candidates.is_empty() {
             stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
             return (CollectionPlan::empty(), stats);
@@ -615,6 +640,7 @@ impl Alg3Planner {
         let eta_h = scenario.uav.hover_power.value();
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
         let loop_start = std::time::Instant::now();
+        let loop_span = root.child("loop");
         match self.config.engine {
             EngineMode::Lazy => run_lazy(
                 &mut state,
@@ -622,6 +648,7 @@ impl Alg3Planner {
                 eta_h,
                 max_iters,
                 &mut stats.counters,
+                rec,
             ),
             EngineMode::Exhaustive => run_exhaustive(
                 &mut state,
@@ -631,7 +658,9 @@ impl Alg3Planner {
                 &mut stats.counters,
             ),
         }
+        drop(loop_span);
         stats.loop_ns = loop_start.elapsed().as_nanos() as u64;
+        flush_counters(rec, &stats.counters);
         let plan = state.into_plan();
         crate::validate::debug_check_plan(
             "Alg3Planner",
@@ -641,6 +670,17 @@ impl Alg3Planner {
         );
         (plan, stats)
     }
+}
+
+/// Publishes the end-of-run engine counters under the `alg3.` namespace.
+fn flush_counters(rec: &dyn Recorder, c: &EvalCounters) {
+    rec.add("alg3.candidates", c.candidates as u64);
+    rec.add("alg3.iterations", c.iterations);
+    rec.add("alg3.evaluations", c.evaluations);
+    rec.add("alg3.marginal_evals", c.marginal_evals);
+    rec.add("alg3.delta_rescans", c.delta_rescans);
+    rec.add("alg3.fixups", c.fixups);
+    rec.add("alg3.heap_pops", c.heap_pops);
 }
 
 impl Planner for Alg3Planner {

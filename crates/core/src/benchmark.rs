@@ -16,11 +16,12 @@
 
 use crate::greedy::{EngineMode, EvalCounters, PlanStats};
 use crate::plan::{CollectionPlan, HoverStop};
-use crate::tourutil::{apply_order, christofides_order, closed_tour_length, removal_delta};
+use crate::tourutil::{apply_order, christofides_order_obs, closed_tour_length, removal_delta};
 use crate::Planner;
 use uavdc_geom::{Point2, SpatialGrid};
 use uavdc_net::units::Seconds;
 use uavdc_net::{DeviceId, Scenario};
+use uavdc_obs::{Recorder, Span};
 
 /// The benchmark planner (no configuration; [`Planner::plan`] uses the
 /// incremental pruning engine, [`BenchmarkPlanner::plan_with_stats`]
@@ -128,7 +129,7 @@ fn prune_exhaustive(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
 /// times, fresh O(|tour|) energy totals per iteration), so the removal
 /// sequence — and the final plan — matches [`prune_exhaustive`] exactly
 /// (property-tested; DESIGN.md §8).
-fn prune_lazy(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
+fn prune_lazy(state: &mut PruneState<'_>, counters: &mut EvalCounters, rec: &dyn Recorder) {
     let scenario = state.scenario;
     let n = scenario.num_devices();
     let eta_h = scenario.uav.hover_power.value();
@@ -184,6 +185,7 @@ fn prune_lazy(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
         }
         // Refresh stale loss caches (the filtered sum runs in coverage
         // order, exactly like the exhaustive pass).
+        let mut refreshed = 0u64;
         for i in 1..state.pts.len() {
             if !lost_dirty[i] {
                 continue;
@@ -191,6 +193,7 @@ fn prune_lazy(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
             lost_dirty[i] = false;
             counters.marginal_evals += 1;
             counters.evaluations += 1;
+            refreshed += 1;
             let dev = state.dev_of[i];
             lost[i] = state.coverage[dev]
                 .iter()
@@ -198,6 +201,7 @@ fn prune_lazy(state: &mut PruneState<'_>, counters: &mut EvalCounters) {
                 .map(|&v| scenario.devices[v as usize].data.value())
                 .sum();
         }
+        rec.observe("bench.loss_refreshes_per_iter", refreshed);
         let mut best_idx = usize::MAX;
         let mut best_ratio = f64::INFINITY;
         #[allow(clippy::needless_range_loop)] // several arrays indexed by i
@@ -268,6 +272,22 @@ impl BenchmarkPlanner {
         scenario: &Scenario,
         engine: EngineMode,
     ) -> (CollectionPlan, PlanStats) {
+        self.plan_with_stats_obs(scenario, engine, &uavdc_obs::NOOP)
+    }
+
+    /// Like [`plan_with_stats`](BenchmarkPlanner::plan_with_stats),
+    /// reporting spans (`bench/setup` covering the initial Christofides
+    /// tour, `bench/prune`), end-of-run counters, and per-iteration
+    /// histograms to `rec`. With the no-op recorder this is the same
+    /// computation producing bit-identical plans (property-tested in
+    /// `tests/obs_noop_equivalence.rs`).
+    pub fn plan_with_stats_obs(
+        &self,
+        scenario: &Scenario,
+        engine: EngineMode,
+        rec: &dyn Recorder,
+    ) -> (CollectionPlan, PlanStats) {
+        let root = Span::root(rec, "bench");
         let setup_start = std::time::Instant::now();
         let n = scenario.num_devices();
         let mut stats = PlanStats {
@@ -283,6 +303,7 @@ impl BenchmarkPlanner {
             stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
             return (CollectionPlan::empty(), stats);
         }
+        let setup_span = root.child("setup");
         let r0 = scenario.coverage_radius().value();
 
         // Coverage lists per device position.
@@ -306,7 +327,7 @@ impl BenchmarkPlanner {
         let mut pts: Vec<Point2> = Vec::with_capacity(n + 1);
         pts.push(scenario.depot);
         pts.extend(positions.iter().copied());
-        let order = christofides_order(&pts);
+        let order = christofides_order_obs(&pts, rec);
         let pts = apply_order(&pts, &order);
         let dev_of: Vec<usize> = order
             .iter()
@@ -319,13 +340,21 @@ impl BenchmarkPlanner {
             coverage,
         };
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+        drop(setup_span);
 
         let loop_start = std::time::Instant::now();
+        let prune_span = root.child("prune");
         match engine {
-            EngineMode::Lazy => prune_lazy(&mut state, &mut stats.counters),
+            EngineMode::Lazy => prune_lazy(&mut state, &mut stats.counters, rec),
             EngineMode::Exhaustive => prune_exhaustive(&mut state, &mut stats.counters),
         }
+        drop(prune_span);
         stats.loop_ns = loop_start.elapsed().as_nanos() as u64;
+        let c = &stats.counters;
+        rec.add("bench.initial_stops", c.candidates as u64);
+        rec.add("bench.iterations", c.iterations);
+        rec.add("bench.evaluations", c.evaluations);
+        rec.add("bench.marginal_evals", c.marginal_evals);
 
         // Materialise stops from the final assignment.
         let capacity = scenario.uav.capacity.value();

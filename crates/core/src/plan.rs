@@ -166,6 +166,39 @@ impl CollectionPlan {
         flight + hover
     }
 
+    /// Order-sensitive 64-bit fingerprint of the full plan content.
+    ///
+    /// FNV-1a over every stop's position, sojourn, and collection list,
+    /// folding each `f64` in as its exact IEEE-754 bit pattern — two plans
+    /// hash equal iff they are bit-identical, which is the equality the
+    /// bench-compare gate needs (the planners are deterministic, so any
+    /// drift is a real behaviour change, not float noise).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.stops.len() as u64);
+        for stop in &self.stops {
+            mix(stop.pos.x.to_bits());
+            mix(stop.pos.y.to_bits());
+            // lint:allow(unit-unwrap): hashing the exact bit pattern, not arithmetic
+            mix(stop.sojourn.value().to_bits());
+            mix(stop.collected.len() as u64);
+            for &(dev, amount) in &stop.collected {
+                mix(u64::from(dev.0));
+                // lint:allow(unit-unwrap): hashing the exact bit pattern, not arithmetic
+                mix(amount.value().to_bits());
+            }
+        }
+        h
+    }
+
     /// Checks every physical constraint of the plan against the scenario.
     ///
     /// Tolerances: energy within `1e-6` relative; per-device totals within
@@ -415,6 +448,19 @@ mod tests {
         let mut p3 = good_plan();
         p3.stops[0].collected[0].0 = DeviceId(99);
         assert!(matches!(p3.validate(&s), Err(PlanError::Malformed(_))));
+    }
+
+    #[test]
+    fn fingerprint_separates_plans() {
+        let p = good_plan();
+        assert_eq!(p.fingerprint(), good_plan().fingerprint());
+        assert_ne!(p.fingerprint(), CollectionPlan::empty().fingerprint());
+        let mut reordered = good_plan();
+        reordered.stops.reverse();
+        assert_ne!(p.fingerprint(), reordered.fingerprint(), "order matters");
+        let mut nudged = good_plan();
+        nudged.stops[0].sojourn = Seconds(2.0 + 1e-12);
+        assert_ne!(p.fingerprint(), nudged.fingerprint(), "bit-level change");
     }
 
     #[test]

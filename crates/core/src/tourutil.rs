@@ -6,7 +6,7 @@
 //! improvement moves.
 
 use uavdc_geom::Point2;
-use uavdc_graph::christofides::{christofides_with, ChristofidesConfig};
+use uavdc_graph::christofides::{christofides_with_obs, ChristofidesConfig};
 use uavdc_graph::DistMatrix;
 
 /// Length of the closed tour through `pts` (first point is the depot),
@@ -91,13 +91,21 @@ pub fn two_opt_points(pts: &mut [Point2]) -> f64 {
 /// Re-orders a closed point tour with Christofides (plus 2-opt polish) and
 /// returns the permutation applied: `perm[k]` is the old index of the
 /// point now at position `k`. The depot (old index 0) stays at position 0.
+// Outside tests the planners thread a recorder through the obs variant.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn christofides_order(pts: &[Point2]) -> Vec<usize> {
+    christofides_order_obs(pts, &uavdc_obs::NOOP)
+}
+
+/// Like [`christofides_order`], forwarding the underlying Christofides
+/// call statistics (`christofides.*`) to `rec`.
+pub fn christofides_order_obs(pts: &[Point2], rec: &dyn uavdc_obs::Recorder) -> Vec<usize> {
     let n = pts.len();
     if n <= 3 {
         return (0..n).collect();
     }
     let m = DistMatrix::from_fn(n, |i, j| pts[i].distance(pts[j]));
-    let mut tour = christofides_with(&m, &ChristofidesConfig::default());
+    let mut tour = christofides_with_obs(&m, &ChristofidesConfig::default(), rec);
     tour.rotate_to_start(0);
     tour.order().to_vec()
 }

@@ -52,7 +52,23 @@ pub fn christofides(m: &DistMatrix) -> Tour {
 
 /// Christofides tour with explicit configuration.
 pub fn christofides_with(m: &DistMatrix, cfg: &ChristofidesConfig) -> Tour {
+    christofides_with_obs(m, cfg, &uavdc_obs::NOOP)
+}
+
+/// Like [`christofides_with`], reporting per-call size statistics to
+/// `rec`: a `christofides.calls` counter plus `christofides.n` and
+/// `christofides.odd_vertices` histograms. This function sits inside the
+/// planners' selection loops and runs thousands of times per plan, so it
+/// deliberately emits no spans — the callers wrap their loops in one span
+/// and read the aggregate histograms instead.
+pub fn christofides_with_obs(
+    m: &DistMatrix,
+    cfg: &ChristofidesConfig,
+    rec: &dyn uavdc_obs::Recorder,
+) -> Tour {
     let n = m.len();
+    rec.add("christofides.calls", 1);
+    rec.observe("christofides.n", n as u64);
     if n <= 1 {
         return Tour::new((0..n).collect());
     }
@@ -68,6 +84,7 @@ pub fn christofides_with(m: &DistMatrix, cfg: &ChristofidesConfig) -> Tour {
     // 2. Minimum-weight perfect matching on odd-degree vertices.
     let odd = odd_degree_vertices(n, &edges);
     debug_assert_eq!(odd.len() % 2, 0);
+    rec.observe("christofides.odd_vertices", odd.len() as u64);
     if !odd.is_empty() {
         let sub = m.submatrix(&odd);
         let matching = min_weight_perfect_matching_with(&sub, cfg.matching);

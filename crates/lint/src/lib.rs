@@ -346,8 +346,9 @@ pub const PERF_CRITICAL_MODULES: [&str; 8] = [
 ];
 
 /// The sanctioned homes for `env::var`: the threading configuration
-/// helper (`UAVDC_THREADS`).
-const ENV_READ_SANCTIONED: [&str; 1] = ["crates/core/src/greedy.rs"];
+/// helper (`UAVDC_THREADS`) and the observability toggle (`UAVDC_OBS`,
+/// read once through `uavdc_obs::env_enabled`).
+const ENV_READ_SANCTIONED: [&str; 2] = ["crates/core/src/greedy.rs", "crates/obs/src/lib.rs"];
 
 /// Dimension vocabulary for `raw-quantity`: an identifier *word* (after
 /// `_`/camelCase splitting) matching one of these marks the identifier
@@ -1206,6 +1207,15 @@ mod tests {
         assert!(scan_scoped("crates/core/src/greedy.rs", src)
             .iter()
             .all(|x| x.rule != Rule::EnvRead));
+        // So is the observability toggle (`UAVDC_OBS` in env_enabled).
+        let obs_src = "fn f() { let _ = std::env::var(\"UAVDC_OBS\"); }\n";
+        assert!(scan_scoped("crates/obs/src/lib.rs", obs_src)
+            .iter()
+            .all(|x| x.rule != Rule::EnvRead));
+        // The exemption is by exact path, not the whole crate.
+        assert!(scan_scoped("crates/obs/src/other.rs", obs_src)
+            .iter()
+            .any(|x| x.rule == Rule::EnvRead));
     }
 
     #[test]

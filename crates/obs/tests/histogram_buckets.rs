@@ -1,0 +1,103 @@
+//! Bucket-boundary behaviour of the log2 histogram: every power of two
+//! opens a new bucket, `2^i - 1` stays in the previous one, and the
+//! published ranges partition `u64` exactly.
+
+use uavdc_obs::{bucket_index, bucket_range, Histogram, NUM_BUCKETS};
+
+#[test]
+fn zero_has_its_own_bucket() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_range(0), (0, 0));
+}
+
+#[test]
+fn powers_of_two_open_new_buckets() {
+    for i in 0..64u32 {
+        let v = 1u64 << i;
+        assert_eq!(
+            bucket_index(v),
+            i as usize + 1,
+            "2^{i} lands in bucket {}",
+            i + 1
+        );
+        if v > 1 {
+            assert_eq!(
+                bucket_index(v - 1),
+                i as usize,
+                "2^{i}-1 stays one bucket down"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_ranges_partition_u64() {
+    // Consecutive ranges tile the axis with no gap or overlap…
+    let mut expected_lo = 0u64;
+    for i in 0..NUM_BUCKETS {
+        let (lo, hi) = bucket_range(i);
+        assert_eq!(
+            lo,
+            expected_lo,
+            "bucket {i} must start where {} ended",
+            i.wrapping_sub(1)
+        );
+        assert!(hi >= lo);
+        expected_lo = hi.wrapping_add(1);
+    }
+    // …ending exactly at u64::MAX (wrapped to 0).
+    assert_eq!(expected_lo, 0, "last bucket must end at u64::MAX");
+    assert_eq!(bucket_range(NUM_BUCKETS - 1).1, u64::MAX);
+}
+
+#[test]
+fn index_and_range_agree_on_boundaries() {
+    for &v in &[
+        0u64,
+        1,
+        2,
+        3,
+        4,
+        7,
+        8,
+        1023,
+        1024,
+        1025,
+        (1 << 32) - 1,
+        1 << 32,
+        (1 << 63) - 1,
+        1 << 63,
+        u64::MAX,
+    ] {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_range(i);
+        assert!(
+            lo <= v && v <= hi,
+            "value {v} outside its bucket {i} [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn oversized_indices_saturate_to_top_bucket() {
+    assert_eq!(bucket_range(64), bucket_range(1000));
+}
+
+#[test]
+fn histogram_counts_boundary_values() {
+    let mut h = Histogram::new();
+    for v in [0u64, 1, 1, 2, 3, 4, 8, u64::MAX] {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 8);
+    // Sum saturates instead of wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+    let b = h.buckets();
+    assert_eq!(b[0], 1); // 0
+    assert_eq!(b[1], 2); // 1, 1
+    assert_eq!(b[2], 2); // 2, 3
+    assert_eq!(b[3], 1); // 4
+    assert_eq!(b[4], 1); // 8
+    assert_eq!(b[64], 1); // u64::MAX
+    assert_eq!(b.iter().sum::<u64>(), 8);
+}

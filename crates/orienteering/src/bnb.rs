@@ -27,7 +27,23 @@ const MAX_NODES: u64 = 50_000_000;
 /// # Panics
 /// Panics when the node budget is exhausted before the search space is
 /// proven — use the GRASP backend for instances that large.
+// Outside tests the crate dispatches through solve_bnb_obs directly.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn solve_bnb(inst: &OrienteeringInstance) -> OrienteeringSolution {
+    solve_bnb_obs(inst, &uavdc_obs::NOOP)
+}
+
+/// Like [`solve_bnb`], reporting `bnb.nodes` (expansions) and
+/// `bnb.pruned` (subtrees cut by the prize bound) to `rec`. Both are
+/// accumulated in the search state and flushed once after the search, so
+/// the recorder costs nothing per node.
+///
+/// # Panics
+/// Panics when the node budget is exhausted, exactly as [`solve_bnb`].
+pub fn solve_bnb_obs(
+    inst: &OrienteeringInstance,
+    rec: &dyn uavdc_obs::Recorder,
+) -> OrienteeringSolution {
     if inst.is_empty() {
         return OrienteeringSolution {
             tour: Vec::new(),
@@ -59,15 +75,21 @@ pub fn solve_bnb(inst: &OrienteeringInstance) -> OrienteeringSolution {
         inst,
         best,
         nodes: &mut nodes,
+        pruned: 0,
     };
     search.dfs(&mut path, &mut visited, 0.0, inst.prize(depot));
-    search.best
+    let pruned = search.pruned;
+    let best = search.best;
+    rec.add("bnb.nodes", nodes);
+    rec.add("bnb.pruned", pruned);
+    best
 }
 
 struct Search<'a> {
     inst: &'a OrienteeringInstance,
     best: OrienteeringSolution,
     nodes: &'a mut u64,
+    pruned: u64,
 }
 
 impl Search<'_> {
@@ -112,6 +134,7 @@ impl Search<'_> {
             }
         }
         if prize + bound <= self.best.prize + 1e-12 {
+            self.pruned += 1;
             return; // even collecting every reachable prize cannot win
         }
         // Best ratio first: prize per approach distance.

@@ -50,7 +50,21 @@ impl GraspConfig {
 }
 
 /// GRASP/ILS solver. Always feasible; never worse than depot-only.
+// Outside tests the crate dispatches through solve_grasp_obs directly.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> OrienteeringSolution {
+    solve_grasp_obs(inst, cfg, &uavdc_obs::NOOP)
+}
+
+/// Like [`solve_grasp`], reporting `grasp.iterations` (constructions run)
+/// and `grasp.improvements` (incumbent updates) to `rec`. Effort counters
+/// are accumulated locally and flushed once, so the recorder adds no work
+/// to the search loop itself.
+pub fn solve_grasp_obs(
+    inst: &OrienteeringInstance,
+    cfg: &GraspConfig,
+    rec: &dyn uavdc_obs::Recorder,
+) -> OrienteeringSolution {
     if inst.is_empty() {
         return OrienteeringSolution {
             tour: Vec::new(),
@@ -60,6 +74,7 @@ pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> Orienteeri
     }
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut best = inst.trivial_solution();
+    let mut improvements = 0u64;
     for _ in 0..cfg.iterations.max(1) {
         let mut tour = randomized_construction(inst, cfg.alpha, &mut rng);
         let mut cost = two_opt_cost(inst, &mut tour);
@@ -70,6 +85,7 @@ pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> Orienteeri
         cost = fill_insertions(inst, &mut tour, &mut in_tour, cost);
         let prize = inst.tour_prize(&tour);
         if prize > best.prize {
+            improvements += 1;
             best = OrienteeringSolution {
                 tour: tour.clone(),
                 cost,
@@ -96,6 +112,7 @@ pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> Orienteeri
             let cost = fill_insertions(inst, &mut tour, &mut in_tour, c);
             let prize = inst.tour_prize(&tour);
             if prize > best.prize + 1e-12 || (prize >= best.prize - 1e-12 && cost < best.cost) {
+                improvements += 1;
                 best = OrienteeringSolution {
                     tour: tour.clone(),
                     cost,
@@ -104,6 +121,8 @@ pub fn solve_grasp(inst: &OrienteeringInstance, cfg: &GraspConfig) -> Orienteeri
             }
         }
     }
+    rec.add("grasp.iterations", cfg.iterations.max(1) as u64);
+    rec.add("grasp.improvements", improvements);
     best
 }
 

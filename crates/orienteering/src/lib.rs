@@ -77,16 +77,29 @@ pub enum Backend {
 /// vertex fits in the budget the solution is the depot alone with its own
 /// prize.
 pub fn solve(inst: &OrienteeringInstance, backend: Backend) -> OrienteeringSolution {
+    solve_obs(inst, backend, &uavdc_obs::NOOP)
+}
+
+/// Like [`solve`], reporting backend-specific search effort to `rec`
+/// (`grasp.iterations`/`grasp.improvements`, `bnb.nodes`/`bnb.pruned`).
+///
+/// The recorder never influences the search: for any `rec`, the returned
+/// solution is bit-identical to `solve(inst, backend)`.
+pub fn solve_obs(
+    inst: &OrienteeringInstance,
+    backend: Backend,
+    rec: &dyn uavdc_obs::Recorder,
+) -> OrienteeringSolution {
     let sol = match backend {
         Backend::Exact => exact::solve_exact(inst),
-        Backend::BranchAndBound => bnb::solve_bnb(inst),
+        Backend::BranchAndBound => bnb::solve_bnb_obs(inst, rec),
         Backend::Greedy => greedy::solve_greedy(inst),
-        Backend::Grasp(cfg) => grasp::solve_grasp(inst, &cfg),
+        Backend::Grasp(cfg) => grasp::solve_grasp_obs(inst, &cfg, rec),
         Backend::Auto => {
             if inst.len() <= 14 {
                 exact::solve_exact(inst)
             } else {
-                grasp::solve_grasp(inst, &GraspConfig::default())
+                grasp::solve_grasp_obs(inst, &GraspConfig::default(), rec)
             }
         }
     };
