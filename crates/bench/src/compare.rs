@@ -157,14 +157,20 @@ fn render(v: Option<&Json>) -> String {
 }
 
 fn entry_key(e: &Json, x_label: &str) -> String {
-    format!(
+    let mut key = format!(
         "{} {}={} {} seed={}",
         e.get("figure").and_then(Json::as_str).unwrap_or("?"),
         x_label,
         render(e.get(x_label)),
         e.get("algorithm").and_then(Json::as_str).unwrap_or("?"),
         render(e.get("seed")),
-    )
+    );
+    // Robustness entries repeat each sweep point across the fault
+    // ladder; the level disambiguates the key.
+    if let Some(level) = e.get("fault_level") {
+        let _ = write!(key, " level={}", render(Some(level)));
+    }
+    key
 }
 
 /// The sweep-coordinate field of an entry (`capacity_j` or `delta_m`).
@@ -173,6 +179,37 @@ fn x_label(e: &Json) -> &str {
         "delta_m"
     } else {
         "capacity_j"
+    }
+}
+
+/// Recursively hard-diffs two JSON values field by field. Used for
+/// schemas whose entries are deterministic end to end (the robustness
+/// baseline): every scalar divergence is its own report row, objects
+/// walk the union of their keys, arrays pair elementwise.
+fn diff_exact(rows: &mut Vec<Row>, key: &str, path: &str, a: Option<&Json>, b: Option<&Json>) {
+    if a == b {
+        return;
+    }
+    match (a, b) {
+        (Some(Json::Obj(ao)), Some(Json::Obj(bo))) => {
+            let mut fields: Vec<&String> = ao.keys().chain(bo.keys()).collect();
+            fields.sort_unstable();
+            fields.dedup();
+            for field in fields {
+                let sub = if path.is_empty() {
+                    field.clone()
+                } else {
+                    format!("{path}.{field}")
+                };
+                diff_exact(rows, key, &sub, ao.get(field), bo.get(field));
+            }
+        }
+        (Some(Json::Arr(aa)), Some(Json::Arr(ba))) if aa.len() == ba.len() => {
+            for (i, (ae, be)) in aa.iter().zip(ba).enumerate() {
+                diff_exact(rows, key, &format!("{path}[{i}]"), Some(ae), Some(be));
+            }
+        }
+        _ => push_if_diff(rows, key, path, a, b),
     }
 }
 
@@ -262,6 +299,13 @@ pub fn compare(
         cur_by_key.insert(entry_key(e, x_label(e)), e);
     }
 
+    // Robustness artefacts carry no timings: every entry field is
+    // deterministic, so they are diffed exactly, whatever their shape.
+    let all_deterministic = baseline
+        .get("schema")
+        .and_then(Json::as_str)
+        .is_some_and(|s| s.starts_with("uavdc-robustness/"));
+
     for base in base_entries {
         let xl = x_label(base);
         let key = entry_key(base, xl);
@@ -272,6 +316,11 @@ pub fn compare(
             continue;
         };
         report.paired_entries += 1;
+
+        if all_deterministic {
+            diff_exact(&mut report.rows, &key, "", Some(base), Some(cur));
+            continue;
+        }
 
         for field in ["candidates", "iterations", "exhaustive_bound"] {
             push_if_diff(
@@ -437,5 +486,49 @@ mod tests {
         let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
         assert!(r.has_divergence());
         assert_eq!(r.paired_entries, 0);
+    }
+
+    fn robustness_doc(trace_fp: &str, drops: u64) -> Json {
+        parse(&format!(
+            r#"{{"schema": "uavdc-robustness/1", "mode": "quick", "scale": 0.2,
+                "seeds": [39582], "levels": ["calm", "storm"],
+                "entries": [
+                  {{"figure": "fig4", "delta_m": 5, "algorithm": "Algorithm 2",
+                    "seed": 39582, "fault_level": 0, "fault_name": "calm",
+                    "delivered_mb": 812.5, "planned_mb": 812.5,
+                    "delivered_frac": 1, "energy_bits": "4114b5318b4c842a",
+                    "trace_fp": "aaaaaaaaaaaaaaaa", "executed_fp": "cccccccccccccccc",
+                    "replans": 0, "trims": 0, "drops": 0, "safe": true}},
+                  {{"figure": "fig4", "delta_m": 5, "algorithm": "Algorithm 2",
+                    "seed": 39582, "fault_level": 1, "fault_name": "storm",
+                    "delivered_mb": 444.25, "planned_mb": 812.5,
+                    "delivered_frac": 0.55, "energy_bits": "4114b5318b4c842b",
+                    "trace_fp": "{trace_fp}", "executed_fp": "dddddddddddddddd",
+                    "replans": 1, "trims": 2, "drops": {drops}, "safe": true}}
+                ]}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn robustness_identical_documents_are_clean() {
+        let a = robustness_doc("bbbbbbbbbbbbbbbb", 3);
+        let r = compare(&a, &a, &CompareConfig::default()).expect("walkable");
+        assert!(!r.has_divergence());
+        // Both fault levels of the sweep point pair separately.
+        assert_eq!(r.paired_entries, 2);
+    }
+
+    #[test]
+    fn robustness_entries_hard_diff_every_field() {
+        let a = robustness_doc("bbbbbbbbbbbbbbbb", 3);
+        let b = robustness_doc("bbbbbbbbbbbbbbbc", 4); // flipped fp bit + drop count
+        let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(!r.has_timing_regression(), "no timings in this schema");
+        assert!(r.rows.iter().any(|row| row.field == "trace_fp"));
+        assert!(r.rows.iter().any(|row| row.field == "drops"));
+        // The diverging rows belong to the storm-level entry only.
+        assert!(r.rows.iter().all(|row| row.key.ends_with("level=1")));
     }
 }

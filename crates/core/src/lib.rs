@@ -47,6 +47,7 @@ pub mod greedy;
 mod multi;
 mod plan;
 mod polish;
+pub mod repair;
 mod sweep;
 mod tourutil;
 pub mod validate;
@@ -63,6 +64,7 @@ pub use multi::{
 };
 pub use plan::{CollectionPlan, HoverStop, PlanError};
 pub use polish::{polish_plan, Polished};
+pub use repair::{drop_to_fit, RepairOutcome, RepairStop};
 pub use sweep::SweepPlanner;
 
 use uavdc_net::Scenario;

@@ -334,7 +334,7 @@ const UNIT_UNWRAP_CRATES: [&str; 1] = ["crates/core/src/"];
 /// Declared perf-critical modules (see DESIGN.md §9): inner loops here
 /// may hold raw `f64` and call `.value()` freely; the unit types guard
 /// their *boundaries* instead.
-pub const PERF_CRITICAL_MODULES: [&str; 8] = [
+pub const PERF_CRITICAL_MODULES: [&str; 9] = [
     "crates/core/src/greedy.rs",
     "crates/core/src/alg2.rs",
     "crates/core/src/alg3.rs",
@@ -343,6 +343,7 @@ pub const PERF_CRITICAL_MODULES: [&str; 8] = [
     "crates/core/src/multi.rs",
     "crates/core/src/sweep.rs",
     "crates/core/src/polish.rs",
+    "crates/core/src/repair.rs",
 ];
 
 /// The sanctioned homes for `env::var`: the threading configuration
@@ -576,11 +577,16 @@ pub fn scan_source(
                 );
             }
 
-            // env-read.
+            // env-read. `var_os`/`vars` are the same ambient-state read
+            // through a different accessor (a fault-injection config
+            // probed via `env::var_os`, say, is exactly as non-replayable
+            // as one parsed from `env::var`).
             if !env_read_sanctioned
                 && t.is_ident("env")
                 && toks.get(i + 1).is_some_and(|x| x.is_punct("::"))
-                && toks.get(i + 2).is_some_and(|x| x.is_ident("var"))
+                && toks.get(i + 2).is_some_and(|x| {
+                    x.is_ident("var") || x.is_ident("var_os") || x.is_ident("vars")
+                })
             {
                 push(
                     &mut allows,

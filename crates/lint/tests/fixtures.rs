@@ -103,6 +103,21 @@ fn env_read_fixture_fails() {
 }
 
 #[test]
+fn fault_config_from_env_fixture_fails() {
+    // The fault-injection config must be constructor-injected (a
+    // mission's faults are seeded, replayable inputs); building it from
+    // env vars is exactly the ambient-state pattern env-read exists to
+    // catch. The sanctioned real implementation lives in uavdc-net and
+    // is covered by `whole_workspace_is_clean`.
+    let out = expect_rule("fault_config_env.rs_fixture", "env-read");
+    assert_eq!(
+        out.matches(": env-read:").count(),
+        3,
+        "one finding per env read (var, var, var_os):\n{out}"
+    );
+}
+
+#[test]
 fn lexer_regression_fixture_is_clean() {
     // Rule-triggering text inside strings, comments, and doc comments —
     // plus `pair.0.1` tuple-field chains — must never produce findings.

@@ -17,6 +17,10 @@
 //!   (the paper's `η_h`, `η_t`) and flight altitude `H`.
 //! * [`Scenario`] — a complete, validated instance: region, depot,
 //!   aggregate devices, radio, UAV.
+//! * [`FaultConfig`] — a pure-data disturbance regime (gust bursts,
+//!   upload failures, device dropout) consumed by the `uavdc-sim` fault
+//!   injector; always constructor-injected, never read from the
+//!   environment.
 //! * [`generator`] — seeded scenario generators, including
 //!   [`generator::paper_default`] reproducing §VII.A exactly
 //!   (500 nodes uniform in 1 km², `D_v ~ U[100, 1000]` MB, `R0 = 50` m,
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fault;
 pub mod generator;
 pub mod io;
 mod radio;
@@ -45,5 +50,6 @@ mod scenario;
 pub mod topology;
 pub mod units;
 
+pub use fault::FaultConfig;
 pub use radio::RadioModel;
 pub use scenario::{DeviceId, IotDevice, Scenario, UavSpec};

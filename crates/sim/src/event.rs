@@ -107,6 +107,143 @@ impl SimTrace {
             _ => None,
         })
     }
+
+    /// Checks the grammar every simulated mission must obey; returns a
+    /// description of the first violation.
+    ///
+    /// * Timestamps are finite, non-negative and non-decreasing (1e-9 s
+    ///   slack, matching [`push`](Self::push)).
+    /// * `Departed` opens a leg that must be closed by an `Arrived` at
+    ///   the departure's destination (or by `BatteryDepleted` mid-leg)
+    ///   before any other event.
+    /// * `Uploaded` and `HoverEnded` happen only inside a hover: after
+    ///   an `Arrived`, or directly from travel state for a zero-length
+    ///   leg (the simulator emits no `Departed`/`Arrived` pair when the
+    ///   next stop is the current position).
+    /// * `BatteryDepleted` and `ReturnedToDepot` are terminal — nothing
+    ///   follows them, and a non-empty trace must end in one of them.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum St {
+            Travel,
+            Leg,
+            Hover,
+            Done,
+        }
+        if self.events.is_empty() {
+            return Err("trace has no terminal event".into());
+        }
+        let mut st = St::Travel;
+        let mut leg_to: Option<Point2> = None;
+        let mut last_t = 0.0f64;
+        for (i, e) in self.events.iter().enumerate() {
+            let t = e.time().value();
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("event {i}: bad timestamp {t}"));
+            }
+            if t + 1e-9 < last_t {
+                return Err(format!("event {i}: time {t} before {last_t}"));
+            }
+            last_t = last_t.max(t);
+            if st == St::Done {
+                return Err(format!("event {i}: {e:?} after a terminal event"));
+            }
+            st = match (st, e) {
+                (St::Travel, SimEvent::Departed { to, .. }) => {
+                    leg_to = Some(*to);
+                    St::Leg
+                }
+                (St::Leg, SimEvent::Arrived { pos, .. }) => {
+                    // The simulator assigns the destination into the
+                    // position on arrival, so the match is exact.
+                    let matches_leg = leg_to.is_some_and(|to| {
+                        to.x.to_bits() == pos.x.to_bits() && to.y.to_bits() == pos.y.to_bits()
+                    });
+                    if !matches_leg {
+                        return Err(format!(
+                            "event {i}: arrived at {pos:?}, leg departed for {leg_to:?}"
+                        ));
+                    }
+                    St::Hover
+                }
+                (St::Leg, SimEvent::BatteryDepleted { .. }) => St::Done,
+                // Zero-length legs emit no Departed/Arrived pair, so a
+                // hover (or a depletion mid-hover, or the final return)
+                // may open directly from travel state.
+                (St::Travel | St::Hover, SimEvent::Uploaded { .. }) => St::Hover,
+                (St::Travel | St::Hover, SimEvent::HoverEnded { .. }) => St::Travel,
+                (St::Travel | St::Hover, SimEvent::BatteryDepleted { .. }) => St::Done,
+                (St::Travel | St::Hover, SimEvent::ReturnedToDepot { .. }) => St::Done,
+                (_, e) => return Err(format!("event {i}: {e:?} illegal in this state")),
+            };
+        }
+        if st != St::Done {
+            return Err("trace does not end in a terminal event".into());
+        }
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint over the exact bit patterns of every event.
+    /// Two traces fingerprint equal iff they are bit-identical, making
+    /// replay determinism checkable without storing whole traces.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for e in &self.events {
+            match e {
+                SimEvent::Departed { t, from, to } => {
+                    eat(0);
+                    eat(t.value().to_bits());
+                    eat(from.x.to_bits());
+                    eat(from.y.to_bits());
+                    eat(to.x.to_bits());
+                    eat(to.y.to_bits());
+                }
+                SimEvent::Arrived { t, pos } => {
+                    eat(1);
+                    eat(t.value().to_bits());
+                    eat(pos.x.to_bits());
+                    eat(pos.y.to_bits());
+                }
+                SimEvent::Uploaded { t, device, amount } => {
+                    eat(2);
+                    eat(t.value().to_bits());
+                    eat(u64::from(device.0));
+                    eat(amount.value().to_bits());
+                }
+                SimEvent::HoverEnded {
+                    t,
+                    pos,
+                    energy_used,
+                } => {
+                    eat(3);
+                    eat(t.value().to_bits());
+                    eat(pos.x.to_bits());
+                    eat(pos.y.to_bits());
+                    eat(energy_used.value().to_bits());
+                }
+                SimEvent::BatteryDepleted { t, pos } => {
+                    eat(4);
+                    eat(t.value().to_bits());
+                    eat(pos.x.to_bits());
+                    eat(pos.y.to_bits());
+                }
+                SimEvent::ReturnedToDepot { t, energy_used } => {
+                    eat(5);
+                    eat(t.value().to_bits());
+                    eat(energy_used.value().to_bits());
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +279,111 @@ mod tests {
             t: Seconds(1.0),
             pos: Point2::ORIGIN,
         });
+    }
+
+    fn leg(tr: &mut SimTrace, t0: f64, from: Point2, to: Point2, t1: f64) {
+        tr.push(SimEvent::Departed {
+            t: Seconds(t0),
+            from,
+            to,
+        });
+        tr.push(SimEvent::Arrived {
+            t: Seconds(t1),
+            pos: to,
+        });
+    }
+
+    #[test]
+    fn well_formed_mission_accepted() {
+        let stop = Point2::new(30.0, 40.0);
+        let mut tr = SimTrace::default();
+        leg(&mut tr, 0.0, Point2::ORIGIN, stop, 5.0);
+        tr.push(SimEvent::Uploaded {
+            t: Seconds(6.0),
+            device: DeviceId(0),
+            amount: MegaBytes(10.0),
+        });
+        tr.push(SimEvent::HoverEnded {
+            t: Seconds(7.0),
+            pos: stop,
+            energy_used: Joules(100.0),
+        });
+        leg(&mut tr, 7.0, stop, Point2::ORIGIN, 12.0);
+        tr.push(SimEvent::ReturnedToDepot {
+            t: Seconds(12.0),
+            energy_used: Joules(200.0),
+        });
+        assert_eq!(tr.check_well_formed(), Ok(()));
+    }
+
+    #[test]
+    fn upload_mid_leg_rejected() {
+        let mut tr = SimTrace::default();
+        tr.push(SimEvent::Departed {
+            t: Seconds(0.0),
+            from: Point2::ORIGIN,
+            to: Point2::new(1.0, 0.0),
+        });
+        tr.push(SimEvent::Uploaded {
+            t: Seconds(1.0),
+            device: DeviceId(0),
+            amount: MegaBytes(1.0),
+        });
+        assert!(tr.check_well_formed().is_err(), "upload outside a hover");
+    }
+
+    #[test]
+    fn arrival_must_match_departure_target() {
+        let mut tr = SimTrace::default();
+        tr.push(SimEvent::Departed {
+            t: Seconds(0.0),
+            from: Point2::ORIGIN,
+            to: Point2::new(1.0, 0.0),
+        });
+        tr.push(SimEvent::Arrived {
+            t: Seconds(1.0),
+            pos: Point2::new(2.0, 0.0),
+        });
+        assert!(tr.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn nothing_may_follow_a_terminal_event() {
+        let mut tr = SimTrace::default();
+        tr.push(SimEvent::ReturnedToDepot {
+            t: Seconds(0.0),
+            energy_used: Joules(0.0),
+        });
+        tr.push(SimEvent::HoverEnded {
+            t: Seconds(1.0),
+            pos: Point2::ORIGIN,
+            energy_used: Joules(0.0),
+        });
+        assert!(tr.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn truncated_or_empty_traces_rejected() {
+        assert!(SimTrace::default().check_well_formed().is_err());
+        let mut tr = SimTrace::default();
+        leg(&mut tr, 0.0, Point2::ORIGIN, Point2::new(1.0, 0.0), 1.0);
+        assert!(tr.check_well_formed().is_err(), "no terminal event");
+    }
+
+    #[test]
+    fn fingerprint_is_bit_sensitive() {
+        let mut a = SimTrace::default();
+        a.push(SimEvent::ReturnedToDepot {
+            t: Seconds(1.0),
+            energy_used: Joules(10.0),
+        });
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.events[0] = SimEvent::ReturnedToDepot {
+            t: Seconds(1.0),
+            energy_used: Joules(10.0 + 1e-12),
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

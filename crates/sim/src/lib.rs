@@ -20,6 +20,12 @@
 //! [`WindModel`] adds seeded per-leg headwind noise for robustness
 //! studies: planners budget nominal energy, reality costs more, and the
 //! completion-rate-vs-margin trade-off is measured by the bench harness.
+//! [`FaultPlan`] layers deterministic fault injection on top (gust
+//! bursts, upload retry/backoff, device dropout), and
+//! [`MissionController`] closes the loop: it re-estimates remaining cost
+//! in flight, repairs the plan online (trimming hovers, dropping
+//! low-value stops) and guarantees a safe return to the depot whenever
+//! one is physically possible.
 
 //!
 //! # Example
@@ -41,13 +47,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod controller;
 mod event;
+mod fault;
 mod periodic;
 mod report;
 mod sim;
 mod wind;
 
+pub use controller::{ControlOutcome, ControllerConfig, MissionController};
 pub use event::{SimEvent, SimTrace};
+pub use fault::{FaultPlan, UploadFault};
 pub use periodic::{run_periodic, PeriodicConfig, PeriodicOutcome, RoundStats};
 pub use report::{write_trace_csv, MissionReport};
 pub use sim::{simulate, simulate_obs, CollectionPolicy, SimConfig, SimOutcome};

@@ -1,8 +1,9 @@
 //! The mission simulator.
 
 use crate::event::{SimEvent, SimTrace};
+use crate::fault::FaultPlan;
 use crate::wind::{LinkModel, WindModel};
-use uavdc_core::CollectionPlan;
+use uavdc_core::{CollectionPlan, HoverStop};
 use uavdc_geom::Point2;
 use uavdc_net::units::{Joules, MegaBytes, Seconds};
 use uavdc_net::{DeviceId, Scenario};
@@ -29,6 +30,10 @@ pub struct SimConfig {
     pub wind: WindModel,
     /// Per-stop uplink-bandwidth disturbance.
     pub link: LinkModel,
+    /// Seeded fault injection (gust bursts, upload failures, device
+    /// dropout); [`FaultPlan::none`] by default, which is bit-identical
+    /// to the fault-free simulator.
+    pub fault: FaultPlan,
     /// Record per-device upload events (disable for big sweeps).
     pub record_uploads: bool,
 }
@@ -39,6 +44,7 @@ impl Default for SimConfig {
             policy: CollectionPolicy::PlanStrict,
             wind: WindModel::calm(),
             link: LinkModel::nominal(),
+            fault: FaultPlan::none(),
             record_uploads: true,
         }
     }
@@ -102,6 +108,8 @@ pub fn simulate_obs(
     let mut stops_visited = 0u64;
     let mut wind = config.wind.clone();
     let mut link = config.link.clone();
+    let mut fault = config.fault.clone();
+    let dropped_devices = fault.draw_dropouts(scenario.num_devices());
     let speed = scenario.uav.speed.value();
     let eta_h = scenario.uav.hover_power.value();
     let per_m_nominal = scenario.uav.travel_energy_per_meter().value();
@@ -130,7 +138,7 @@ pub fn simulate_obs(
                 &mut pos,
                 stop.pos,
                 speed,
-                per_m_nominal * wind.next_leg_factor(),
+                per_m_nominal * wind.next_leg_factor() * fault.next_leg_factor(),
                 capacity,
                 &mut trace,
             ) {
@@ -139,7 +147,6 @@ pub fn simulate_obs(
             }
             // --- Hover and collect ------------------------------------
             let sojourn = stop.sojourn.value();
-            let hover_cost = sojourn * eta_h;
             let affordable = ((capacity - energy) / eta_h).max(0.0);
             let actual_sojourn = sojourn.min(affordable);
             let truncated = actual_sojourn + 1e-12 < sojourn;
@@ -149,44 +156,18 @@ pub fn simulate_obs(
             // buffer and sort before logging. Link noise degrades this
             // stop's effective bandwidth.
             let eff_b = b * link.next_stop_factor();
-            let mut uploads: Vec<(f64, DeviceId, f64)> = Vec::new();
-            match config.policy {
-                CollectionPolicy::PlanStrict => {
-                    // Per-device totals scheduled at this stop.
-                    let mut scheduled: Vec<(DeviceId, f64)> = Vec::new();
-                    for &(dev, amount) in &stop.collected {
-                        match scheduled.iter_mut().find(|(d, _)| *d == dev) {
-                            Some((_, a)) => *a += amount.value(),
-                            None => scheduled.push((dev, amount.value())),
-                        }
-                    }
-                    for (dev, want) in scheduled {
-                        let can = (eff_b * actual_sojourn).min(residual[dev.index()]);
-                        let got = want.min(can);
-                        if got > 0.0 {
-                            residual[dev.index()] -= got;
-                            per_device[dev.index()] += got;
-                            uploads.push(((got / eff_b).min(actual_sojourn), dev, got));
-                        }
-                    }
-                }
-                CollectionPolicy::Opportunistic => {
-                    for (i, dev) in scenario.devices.iter().enumerate() {
-                        if dev.pos.distance(stop.pos) <= r0 + 1e-9 {
-                            let got = (eff_b * actual_sojourn).min(residual[i]);
-                            if got > 0.0 {
-                                residual[i] -= got;
-                                per_device[i] += got;
-                                uploads.push((
-                                    (got / eff_b).min(actual_sojourn),
-                                    DeviceId(i as u32),
-                                    got,
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
+            let mut uploads = collect_uploads(
+                config.policy,
+                stop,
+                scenario,
+                r0,
+                eff_b,
+                actual_sojourn,
+                &mut residual,
+                &mut per_device,
+                &dropped_devices,
+                &mut fault,
+            );
             if config.record_uploads {
                 uploads.sort_by(|a, b2| uavdc_geom::cmp_f64(a.0, b2.0));
                 for (dt, dev, got) in uploads {
@@ -200,7 +181,6 @@ pub fn simulate_obs(
             t += actual_sojourn;
             energy += actual_sojourn * eta_h;
             hover_used += actual_sojourn * eta_h;
-            let _ = hover_cost;
             if truncated {
                 trace.push(SimEvent::BatteryDepleted {
                     t: Seconds(t),
@@ -223,7 +203,7 @@ pub fn simulate_obs(
             &mut pos,
             scenario.depot,
             speed,
-            per_m_nominal * wind.next_leg_factor(),
+            per_m_nominal * wind.next_leg_factor() * fault.next_leg_factor(),
             capacity,
             &mut trace,
         ) {
@@ -263,10 +243,88 @@ pub fn simulate_obs(
     }
 }
 
+/// Collects uploads for one hover: applies the policy, the effective
+/// bandwidth, device dropout and per-transfer retry/backoff faults, and
+/// returns `(finish-offset, device, volume)` triples (unordered — the
+/// caller sorts before logging). Mutates `residual`/`per_device`.
+///
+/// With an inert `fault` and no dropouts this computes bit-identically
+/// to the fault-free simulator: zero waste subtracts exactly nothing
+/// from the hover window.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn collect_uploads(
+    policy: CollectionPolicy,
+    stop: &HoverStop,
+    scenario: &Scenario,
+    r0: f64,
+    eff_b: f64,
+    actual_sojourn: f64,
+    residual: &mut [f64],
+    per_device: &mut [f64],
+    dropped_devices: &[bool],
+    fault: &mut FaultPlan,
+) -> Vec<(f64, DeviceId, f64)> {
+    let mut uploads: Vec<(f64, DeviceId, f64)> = Vec::new();
+    let attempt = |dev: DeviceId,
+                   want: f64,
+                   residual: &mut [f64],
+                   per_device: &mut [f64],
+                   fault: &mut FaultPlan,
+                   uploads: &mut Vec<(f64, DeviceId, f64)>| {
+        if dropped_devices[dev.index()] {
+            return;
+        }
+        let outcome = fault.next_upload_outcome();
+        if !outcome.delivered {
+            return;
+        }
+        let usable = (actual_sojourn - outcome.wasted.value()).max(0.0);
+        let can = (eff_b * usable).min(residual[dev.index()]);
+        let got = want.min(can);
+        if got > 0.0 {
+            residual[dev.index()] -= got;
+            per_device[dev.index()] += got;
+            let finished = (outcome.wasted.value() + got / eff_b).min(actual_sojourn);
+            uploads.push((finished, dev, got));
+        }
+    };
+    match policy {
+        CollectionPolicy::PlanStrict => {
+            // Per-device totals scheduled at this stop.
+            let mut scheduled: Vec<(DeviceId, f64)> = Vec::new();
+            for &(dev, amount) in &stop.collected {
+                match scheduled.iter_mut().find(|(d, _)| *d == dev) {
+                    Some((_, a)) => *a += amount.value(),
+                    None => scheduled.push((dev, amount.value())),
+                }
+            }
+            for (dev, want) in scheduled {
+                attempt(dev, want, residual, per_device, fault, &mut uploads);
+            }
+        }
+        CollectionPolicy::Opportunistic => {
+            for (i, dev) in scenario.devices.iter().enumerate() {
+                if dev.pos.distance(stop.pos) <= r0 + 1e-9 {
+                    let want = residual[i];
+                    attempt(
+                        DeviceId(i as u32),
+                        want,
+                        residual,
+                        per_device,
+                        fault,
+                        &mut uploads,
+                    );
+                }
+            }
+        }
+    }
+    uploads
+}
+
 /// Flies one leg; returns false when the battery dies en route (position
 /// is interpolated to the point of depletion).
 #[allow(clippy::too_many_arguments)]
-fn fly_leg(
+pub(crate) fn fly_leg(
     t: &mut f64,
     energy: &mut f64,
     pos: &mut Point2,
@@ -319,7 +377,6 @@ fn fly_leg(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uavdc_core::HoverStop;
     use uavdc_geom::Aabb;
     use uavdc_net::units::{MegaBytesPerSecond, Meters};
     use uavdc_net::{IotDevice, RadioModel, UavSpec};
@@ -359,12 +416,20 @@ mod tests {
         }
     }
 
+    /// Simulate and assert the trace grammar — every sim test goes
+    /// through this so `SimTrace::check_well_formed` guards them all.
+    fn checked(s: &Scenario, plan: &CollectionPlan, cfg: &SimConfig) -> SimOutcome {
+        let out = simulate(s, plan, cfg);
+        out.trace.check_well_formed().expect("well-formed trace");
+        out
+    }
+
     #[test]
     fn nominal_mission_matches_plan_accounting() {
         let s = scenario(10_000.0);
         let plan = one_stop_plan();
         plan.validate(&s).unwrap();
-        let out = simulate(&s, &plan, &SimConfig::default());
+        let out = checked(&s, &plan, &SimConfig::default());
         assert!(out.completed);
         assert!(out.agrees_with_plan(&plan, &s));
         // Out-and-back 50 m legs at 10 J/m, plus 4 s at 150 J/s.
@@ -376,7 +441,7 @@ mod tests {
     #[test]
     fn trace_tells_the_story() {
         let s = scenario(10_000.0);
-        let out = simulate(&s, &one_stop_plan(), &SimConfig::default());
+        let out = checked(&s, &one_stop_plan(), &SimConfig::default());
         let kinds: Vec<&str> = out
             .trace
             .events
@@ -400,7 +465,7 @@ mod tests {
     fn battery_dies_mid_leg() {
         // 50 m to the stop costs 500 J; give it 300 J.
         let s = scenario(300.0);
-        let out = simulate(&s, &one_stop_plan(), &SimConfig::default());
+        let out = checked(&s, &one_stop_plan(), &SimConfig::default());
         assert!(!out.completed);
         assert_eq!(
             out.collected,
@@ -422,7 +487,7 @@ mod tests {
         // Reach the stop (500 J) then hover: 4 s would need 600 J; give
         // 500 + 150 = 650 J total → 1 s of hover.
         let s = scenario(650.0);
-        let out = simulate(&s, &one_stop_plan(), &SimConfig::default());
+        let out = checked(&s, &one_stop_plan(), &SimConfig::default());
         assert!(!out.completed);
         assert!((out.energy_used.value() - 650.0).abs() < 1e-9);
         assert!((out.mission_time.value() - (5.0 + 1.0)).abs() < 1e-9);
@@ -434,7 +499,7 @@ mod tests {
         let mut plan = one_stop_plan();
         plan.stops[0].collected = vec![(DeviceId(0), MegaBytes(100.0))]; // partial
         plan.stops[0].sojourn = Seconds(1.0);
-        let out = simulate(&s, &plan, &SimConfig::default());
+        let out = checked(&s, &plan, &SimConfig::default());
         assert!(out.completed);
         assert_eq!(out.collected, MegaBytes(100.0));
     }
@@ -446,8 +511,8 @@ mod tests {
         // Plan only claims device 0, but device 1 is also in range.
         plan.stops[0].collected = vec![(DeviceId(0), MegaBytes(300.0))];
         plan.stops[0].sojourn = Seconds(2.0);
-        let strict = simulate(&s, &plan, &SimConfig::default());
-        let opp = simulate(
+        let strict = checked(&s, &plan, &SimConfig::default());
+        let opp = checked(
             &s,
             &plan,
             &SimConfig {
@@ -464,8 +529,8 @@ mod tests {
     fn headwind_costs_more_energy() {
         let s = scenario(10_000.0);
         let plan = one_stop_plan();
-        let calm = simulate(&s, &plan, &SimConfig::default());
-        let windy = simulate(
+        let calm = checked(&s, &plan, &SimConfig::default());
+        let windy = checked(
             &s,
             &plan,
             &SimConfig {
@@ -482,8 +547,8 @@ mod tests {
     fn windy_mission_can_fail_where_calm_succeeds() {
         let s = scenario(1650.0); // calm needs 1600 J
         let plan = one_stop_plan();
-        assert!(simulate(&s, &plan, &SimConfig::default()).completed);
-        let windy = simulate(
+        assert!(checked(&s, &plan, &SimConfig::default()).completed);
+        let windy = checked(
             &s,
             &plan,
             &SimConfig {
@@ -498,8 +563,8 @@ mod tests {
     fn degraded_link_collects_less_but_flies_the_same() {
         let s = scenario(10_000.0);
         let plan = one_stop_plan();
-        let nominal = simulate(&s, &plan, &SimConfig::default());
-        let degraded = simulate(
+        let nominal = checked(&s, &plan, &SimConfig::default());
+        let degraded = checked(
             &s,
             &plan,
             &SimConfig {
@@ -518,7 +583,7 @@ mod tests {
     #[test]
     fn empty_plan_is_a_noop_mission() {
         let s = scenario(100.0);
-        let out = simulate(&s, &CollectionPlan::empty(), &SimConfig::default());
+        let out = checked(&s, &CollectionPlan::empty(), &SimConfig::default());
         assert!(out.completed);
         assert_eq!(out.energy_used, Joules::ZERO);
         assert_eq!(out.mission_time, Seconds::ZERO);
@@ -528,8 +593,147 @@ mod tests {
     #[test]
     fn per_device_totals_match_aggregate() {
         let s = scenario(10_000.0);
-        let out = simulate(&s, &one_stop_plan(), &SimConfig::default());
+        let out = checked(&s, &one_stop_plan(), &SimConfig::default());
         let sum: f64 = out.per_device.iter().map(|v| v.value()).sum();
         assert!((sum - out.collected.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bit_identical() {
+        let s = scenario(10_000.0);
+        let plan = one_stop_plan();
+        let base = checked(&s, &plan, &SimConfig::default());
+        let with_inert = checked(
+            &s,
+            &plan,
+            &SimConfig {
+                fault: FaultPlan::new(uavdc_net::FaultConfig::none(), 123),
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(
+            base.energy_used.value().to_bits(),
+            with_inert.energy_used.value().to_bits()
+        );
+        assert_eq!(
+            base.mission_time.value().to_bits(),
+            with_inert.mission_time.value().to_bits()
+        );
+        assert_eq!(
+            base.collected.value().to_bits(),
+            with_inert.collected.value().to_bits()
+        );
+        assert_eq!(base.trace.fingerprint(), with_inert.trace.fingerprint());
+    }
+
+    #[test]
+    fn dropout_suppresses_a_device() {
+        let s = scenario(10_000.0);
+        let plan = one_stop_plan();
+        // dropout = 1: every device is gone; the tour still flies.
+        let out = checked(
+            &s,
+            &plan,
+            &SimConfig {
+                fault: FaultPlan::new(
+                    uavdc_net::FaultConfig {
+                        dropout: 1.0,
+                        ..uavdc_net::FaultConfig::none()
+                    },
+                    7,
+                ),
+                ..SimConfig::default()
+            },
+        );
+        assert!(out.completed);
+        assert_eq!(out.collected, MegaBytes::ZERO);
+        assert_eq!(out.trace.uploads().count(), 0);
+    }
+
+    #[test]
+    fn upload_failures_waste_hover_time() {
+        let s = scenario(10_000.0);
+        let plan = one_stop_plan();
+        // Certain failure with zero retries: nothing is delivered, but
+        // the mission itself (travel + hover energy) is unchanged.
+        let out = checked(
+            &s,
+            &plan,
+            &SimConfig {
+                fault: FaultPlan::new(
+                    uavdc_net::FaultConfig {
+                        upload_fail: 1.0,
+                        max_retries: 0,
+                        retry_backoff: Seconds(0.5),
+                        ..uavdc_net::FaultConfig::none()
+                    },
+                    7,
+                ),
+                ..SimConfig::default()
+            },
+        );
+        assert!(out.completed);
+        assert_eq!(out.collected, MegaBytes::ZERO);
+        let nominal = checked(&s, &plan, &SimConfig::default());
+        assert_eq!(out.energy_used.value(), nominal.energy_used.value());
+    }
+
+    #[test]
+    fn gusts_compose_with_wind() {
+        let s = scenario(10_000.0);
+        let plan = one_stop_plan();
+        // Deterministic gust (onset 1, severity exactly 1.2) on top of a
+        // constant 1.3 wind: travel costs 1.3 * 1.2 = 1.56x nominal.
+        let out = checked(
+            &s,
+            &plan,
+            &SimConfig {
+                wind: WindModel::uniform(1.3, 1.3, 1),
+                fault: FaultPlan::new(
+                    uavdc_net::FaultConfig {
+                        gust_onset: 1.0,
+                        gust_legs: (1, 1),
+                        gust_severity: (1.2, 1.2),
+                        ..uavdc_net::FaultConfig::none()
+                    },
+                    7,
+                ),
+                ..SimConfig::default()
+            },
+        );
+        assert!(out.completed);
+        // 100 m round trip at 10 J/m * 1.56, plus the 600 J hover.
+        assert!((out.energy_used.value() - (1560.0 + 600.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_replay_is_deterministic() {
+        let s = scenario(2_500.0);
+        let plan = one_stop_plan();
+        let cfg = SimConfig {
+            wind: WindModel::uniform(1.0, 1.4, 5),
+            link: LinkModel::uniform(0.6, 1.0, 6),
+            fault: FaultPlan::new(
+                uavdc_net::FaultConfig {
+                    gust_onset: 0.5,
+                    gust_legs: (1, 3),
+                    gust_severity: (1.1, 1.6),
+                    upload_fail: 0.4,
+                    max_retries: 2,
+                    retry_backoff: Seconds(0.3),
+                    dropout: 0.2,
+                },
+                99,
+            ),
+            ..SimConfig::default()
+        };
+        let a = checked(&s, &plan, &cfg);
+        let b = checked(&s, &plan, &cfg);
+        assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
+        assert_eq!(
+            a.energy_used.value().to_bits(),
+            b.energy_used.value().to_bits()
+        );
+        assert_eq!(a.collected.value().to_bits(), b.collected.value().to_bits());
     }
 }
