@@ -637,6 +637,7 @@ impl Alg2Planner {
         rec: &dyn Recorder,
     ) -> (CollectionPlan, PlanStats) {
         let root = Span::root(rec, "alg2");
+        // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let setup_start = std::time::Instant::now();
         let setup_span = root.child("setup");
         let mut candidates = CandidateSet::build(scenario, self.config.delta);
@@ -666,6 +667,7 @@ impl Alg2Planner {
         let mut state = GreedyState::new(scenario, &candidates);
         let eta_h = scenario.uav.hover_power.value();
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+        // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let loop_start = std::time::Instant::now();
         let loop_span = root.child("loop");
         match engine {

@@ -608,6 +608,7 @@ impl Alg3Planner {
     ) -> (CollectionPlan, PlanStats) {
         assert!(self.config.k >= 1, "K must be at least 1");
         let root = Span::root(rec, "alg3");
+        // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let setup_start = std::time::Instant::now();
         let setup_span = root.child("setup");
         let mut candidates = CandidateSet::build(scenario, self.config.delta);
@@ -639,6 +640,7 @@ impl Alg3Planner {
             + 64;
         let eta_h = scenario.uav.hover_power.value();
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
+        // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let loop_start = std::time::Instant::now();
         let loop_span = root.child("loop");
         match self.config.engine {

@@ -288,6 +288,7 @@ impl BenchmarkPlanner {
         rec: &dyn Recorder,
     ) -> (CollectionPlan, PlanStats) {
         let root = Span::root(rec, "bench");
+        // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let setup_start = std::time::Instant::now();
         let n = scenario.num_devices();
         let mut stats = PlanStats {
@@ -342,6 +343,7 @@ impl BenchmarkPlanner {
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
         drop(setup_span);
 
+        // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let loop_start = std::time::Instant::now();
         let prune_span = root.child("prune");
         match engine {

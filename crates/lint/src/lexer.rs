@@ -582,4 +582,63 @@ mod tests {
         assert!(l.toks.iter().any(|t| t.is_ident("x")));
         assert!(l.toks.iter().all(|t| !t.text.contains("unwrap")));
     }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes_close_on_matching_count() {
+        // r##"..."## may contain `"#` without terminating; only `"##` closes.
+        let l = lex("let a = r##\"inner \"# .unwrap() quote\"##; let tail = 1;");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(l.toks.iter().any(|t| t.is_ident("tail")));
+        assert!(l.toks.iter().all(|t| !t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        // Rust block comments nest; the lexer must track depth, not stop at
+        // the first `*/`.
+        let l = lex("/* outer /* inner .unwrap() */ still comment */ let live = 1;");
+        assert!(l.toks.iter().any(|t| t.is_ident("live")));
+        assert!(l.toks.iter().all(|t| !t.text.contains("unwrap")));
+        assert!(l.comments.iter().any(|c| c.text.contains("inner")));
+    }
+
+    #[test]
+    fn loop_labels_and_static_lifetime_are_not_chars() {
+        // `'outer:` (loop label) and `'static` lex as lifetimes; `'a'` with
+        // a one-letter payload is still a char literal.
+        let l = lex("fn f() -> &'static str { 'outer: loop { let c = 'a'; break 'outer; } \"s\" }");
+        let lifetimes: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'outer", "'outer"]);
+        // Char payloads are deliberately scrubbed (stored as `''`, like
+        // string contents) so literal bytes never leak into rule matching.
+        let chars: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["''"]);
+    }
+
+    #[test]
+    fn turbofish_in_call_position_lexes_as_path_then_angle() {
+        // `collect::<Vec<f64>>()` closes two generic depths with a single
+        // `>>` shift token; the parser/resolver angle-skippers decrement
+        // depth by 2 for it, so the lexer must keep it whole.
+        let t = kinds("xs.iter().collect::<Vec<f64>>()");
+        let tail: Vec<&str> = t
+            .iter()
+            .skip_while(|(_, s)| s != "collect")
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(
+            tail,
+            vec!["collect", "::", "<", "Vec", "<", "f64", ">>", "(", ")"]
+        );
+    }
 }

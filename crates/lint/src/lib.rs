@@ -35,6 +35,24 @@
 //! * [`Rule::EnvRead`] — `env::var` outside the sanctioned threading
 //!   helper, so planner behaviour cannot depend on ambient state.
 //!
+//! Since PR 6 the tool is *workspace-wide*: a resolver ([`resolve`])
+//! maps every `fn` to a `(crate, module)` coordinate and resolves call
+//! sites across crates, a call-graph builder ([`callgraph`]) attaches
+//! local hazard sites to each function, and a fixed-point dataflow
+//! layer ([`dataflow`]) propagates them. Four interprocedural rules run
+//! on top (JSON schema `uavdc-lint/3`):
+//!
+//! * [`Rule::EffectTaint`] — nondeterminism sources (time, unseeded
+//!   RNG, hash-order iteration, env reads) reachable from public
+//!   planner entry points, with the shortest witness call path.
+//! * [`Rule::PanicReach`] — panic and non-audited indexing sites
+//!   reachable from planner entry points, same witness format.
+//! * [`Rule::UnitFlow`] — raw `f64` produced by `.value()` escapes
+//!   tracked across function boundaries until re-wrapped in a unit
+//!   newtype.
+//! * [`Rule::ObsTwin`] — every `_obs` twin must have a plain sibling
+//!   that cleanly delegates to it (recorder invisibility coherence).
+//!
 //! Findings are reported as `path:line: rule: message`, one per line.
 //! A finding is suppressed with a pragma comment on the same line or the
 //! line directly above (doc comments are never pragmas):
@@ -50,11 +68,13 @@
 //! Exit codes of the CLI: `0` clean, `1` findings, `2` I/O or usage
 //! error.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 
-use lexer::{Comment, Lexed, Tok, TokKind};
-use parser::Model;
+use lexer::{Comment, Tok, TokKind};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -80,6 +100,19 @@ pub enum Rule {
     FloatEq,
     /// `env::var` outside the sanctioned configuration helpers.
     EnvRead,
+    /// A nondeterminism source (time, unseeded RNG, hash order, env)
+    /// reachable from a public planner entry point through the call
+    /// graph.
+    EffectTaint,
+    /// A panic or indexing site reachable from a public planner entry
+    /// point through the call graph.
+    PanicReach,
+    /// A raw `f64` produced by a unit escape (`.value()` / `Unit(..).0`)
+    /// crossing a function boundary without re-entering a unit newtype.
+    UnitFlow,
+    /// An `_obs` twin whose plain wrapper does not cleanly delegate to
+    /// it (recorder-invisibility coherence).
+    ObsTwin,
     /// A `lint:allow` pragma that suppressed nothing.
     UnusedAllow,
     /// A `lint:allow` pragma without a rule name or without a reason.
@@ -97,6 +130,10 @@ impl Rule {
             Rule::UnitUnwrap => "unit-unwrap",
             Rule::FloatEq => "float-eq",
             Rule::EnvRead => "env-read",
+            Rule::EffectTaint => "effect-taint",
+            Rule::PanicReach => "panic-reach",
+            Rule::UnitFlow => "unit-flow",
+            Rule::ObsTwin => "obs-twin",
             Rule::UnusedAllow => "unused-allow",
             Rule::MalformedAllow => "malformed-allow",
         }
@@ -112,14 +149,20 @@ impl Rule {
             "unit-unwrap" => Some(Rule::UnitUnwrap),
             "float-eq" => Some(Rule::FloatEq),
             "env-read" => Some(Rule::EnvRead),
+            "effect-taint" => Some(Rule::EffectTaint),
+            "panic-reach" => Some(Rule::PanicReach),
+            "unit-flow" => Some(Rule::UnitFlow),
+            "obs-twin" => Some(Rule::ObsTwin),
             "unused-allow" => Some(Rule::UnusedAllow),
             "malformed-allow" => Some(Rule::MalformedAllow),
             _ => None,
         }
     }
 
-    /// All rules that scan source directly (pragma meta-rules excluded).
-    pub fn all_source_rules() -> [Rule; 7] {
+    /// All rules that scan source directly (pragma meta-rules excluded):
+    /// the seven per-file rules plus the four interprocedural rules of
+    /// schema `uavdc-lint/3`.
+    pub fn all_source_rules() -> [Rule; 11] {
         [
             Rule::FloatOrd,
             Rule::PanicSite,
@@ -128,6 +171,10 @@ impl Rule {
             Rule::UnitUnwrap,
             Rule::FloatEq,
             Rule::EnvRead,
+            Rule::EffectTaint,
+            Rule::PanicReach,
+            Rule::UnitFlow,
+            Rule::ObsTwin,
         ]
     }
 }
@@ -218,7 +265,7 @@ impl Finding {
 /// The full machine-readable report for a scan: a single JSON document
 /// with a schema tag, the enabled rules, and the sorted findings.
 pub fn report_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"schema\":\"uavdc-lint/2\",\"rules\":[");
+    let mut out = String::from("{\"schema\":\"uavdc-lint/3\",\"rules\":[");
     let mut first = true;
     for r in Rule::all_source_rules() {
         if !first {
@@ -314,6 +361,17 @@ fn is_allowed(allows: &mut [Allow], rule: Rule, finding_line: usize) -> bool {
     false
 }
 
+/// Like [`is_allowed`] but without consuming the pragma: used when a
+/// per-file rule already owns (and marks) the pragma and an
+/// interprocedural rule merely honours it.
+fn allowed_peek(allows: &[Allow], rule: Rule, finding_line: usize) -> bool {
+    allows.iter().any(|a| {
+        a.rule == Some(rule)
+            && a.has_reason
+            && (a.line == finding_line || a.line + 1 == finding_line)
+    })
+}
+
 /// Paths (workspace-relative, `/`-separated suffixes) where `float-ord`
 /// does not apply: the approved total-order helper itself.
 const FLOAT_ORD_EXEMPT: [&str; 1] = ["crates/geom/src/order.rs"];
@@ -350,6 +408,87 @@ pub const PERF_CRITICAL_MODULES: [&str; 9] = [
 /// helper (`UAVDC_THREADS`) and the observability toggle (`UAVDC_OBS`,
 /// read once through `uavdc_obs::env_enabled`).
 const ENV_READ_SANCTIONED: [&str; 2] = ["crates/core/src/greedy.rs", "crates/obs/src/lib.rs"];
+
+/// Is `env::var` sanctioned in this file? Shared with the call-graph
+/// hazard collector so `effect-taint` and `env-read` agree on the
+/// boundary.
+pub(crate) fn env_read_sanctioned(norm: &str) -> bool {
+    path_ends(norm, &ENV_READ_SANCTIONED)
+}
+
+/// Crates whose public functions are planner entry points for the
+/// interprocedural rules (effect-taint, panic-reach): the algorithm
+/// core, the orienteering solvers, and the mission simulator.
+const ENTRY_CRATES: [&str; 3] = [
+    "crates/core/src/",
+    "crates/orienteering/src/",
+    "crates/sim/src/",
+];
+
+/// Bounds-audited modules for `panic-reach`: indexing in these files is
+/// accepted as in-range by construction, backed by the invariant and
+/// property suites that already patrol them (energy feasibility, metric
+/// closure, matching validity — see DESIGN.md §13). This is a *ratchet*:
+/// new files start outside the list, so fresh indexing-heavy code must
+/// either be audited in or carry per-site pragmas.
+const INDEX_AUDITED: [&str; 51] = [
+    "crates/bench/src/json.rs",
+    "crates/bench/src/lib.rs",
+    "crates/core/src/alg1.rs",
+    "crates/core/src/alg2.rs",
+    "crates/core/src/alg3.rs",
+    "crates/core/src/auxgraph.rs",
+    "crates/core/src/benchmark.rs",
+    "crates/core/src/candidates.rs",
+    "crates/core/src/greedy.rs",
+    "crates/core/src/multi.rs",
+    "crates/core/src/plan.rs",
+    "crates/core/src/polish.rs",
+    "crates/core/src/repair.rs",
+    "crates/core/src/sweep.rs",
+    "crates/core/src/tourutil.rs",
+    "crates/core/src/validate.rs",
+    "crates/geom/src/aabb.rs",
+    "crates/geom/src/hull.rs",
+    "crates/geom/src/kdtree.rs",
+    "crates/geom/src/order.rs",
+    "crates/geom/src/polyline.rs",
+    "crates/geom/src/spatial.rs",
+    "crates/graph/src/christofides.rs",
+    "crates/graph/src/construction.rs",
+    "crates/graph/src/euler.rs",
+    "crates/graph/src/exact.rs",
+    "crates/graph/src/improve.rs",
+    "crates/graph/src/matching.rs",
+    "crates/graph/src/matching/blossom.rs",
+    "crates/graph/src/matrix.rs",
+    "crates/graph/src/mst.rs",
+    "crates/graph/src/tour.rs",
+    "crates/net/src/generator.rs",
+    "crates/net/src/io.rs",
+    "crates/net/src/lib.rs",
+    "crates/net/src/scenario.rs",
+    "crates/net/src/topology.rs",
+    "crates/orienteering/src/bnb.rs",
+    "crates/orienteering/src/exact.rs",
+    "crates/orienteering/src/grasp.rs",
+    "crates/orienteering/src/greedy.rs",
+    "crates/orienteering/src/lib.rs",
+    "crates/orienteering/src/local.rs",
+    "crates/orienteering/src/problem.rs",
+    "crates/orienteering/src/team.rs",
+    "crates/sim/src/controller.rs",
+    "crates/sim/src/event.rs",
+    "crates/sim/src/periodic.rs",
+    "crates/sim/src/report.rs",
+    "crates/sim/src/sim.rs",
+    "src/viz.rs",
+];
+
+/// Is indexing in this file covered by the bounds-audited baseline?
+pub(crate) fn index_audited(norm: &str) -> bool {
+    path_ends(norm, &INDEX_AUDITED)
+}
 
 /// Dimension vocabulary for `raw-quantity`: an identifier *word* (after
 /// `_`/camelCase splitting) matching one of these marks the identifier
@@ -463,28 +602,106 @@ fn value_call_starts_at(toks: &[Tok], mut j: usize) -> bool {
         && toks.get(j + 3).is_some_and(|t| t.is_punct("("))
 }
 
-/// Scan one file's contents. `display_path` is used for reports and for
-/// the path-scoped rules; `kind` decides which rules apply; `scope`
-/// decides whether crate scoping restricts the dimension rules.
+/// Scan one file's contents in isolation. `display_path` is used for
+/// reports and for the path-scoped rules; `kind` decides which rules
+/// apply; `scope` decides whether crate scoping restricts the dimension
+/// rules. The interprocedural rules see a one-file workspace here, so
+/// only their intra-file findings can fire; use [`analyze`] (or the
+/// CLI) for whole-workspace analysis.
 pub fn scan_source(
     display_path: &Path,
     source: &str,
     kind: FileKind,
     scope: ScanScope,
 ) -> Vec<Finding> {
-    let lexed: Lexed = lexer::lex(source);
-    let model: Model = parser::parse(&lexed.toks);
-    let toks = &lexed.toks[..];
-    let mut allows = parse_allows(&lexed.comments);
-    let mut findings: Vec<Finding> = Vec::new();
-    let norm = display_path.to_string_lossy().replace('\\', "/");
+    analyze(
+        vec![AnalysisInput {
+            path: display_path.to_path_buf(),
+            source: source.to_string(),
+            kind,
+        }],
+        scope,
+    )
+}
 
-    let float_ord_exempt = path_ends(&norm, &FLOAT_ORD_EXEMPT);
+/// One file handed to [`analyze`].
+pub struct AnalysisInput {
+    /// Display path (workspace-relative for workspace scans).
+    pub path: PathBuf,
+    /// File contents.
+    pub source: String,
+    /// Library vs test-like classification.
+    pub kind: FileKind,
+}
+
+/// Lex/parse every input into a [`resolve::FileCtx`] plus its pragmas.
+fn build_contexts(inputs: Vec<AnalysisInput>) -> (Vec<resolve::FileCtx>, Vec<Vec<Allow>>) {
+    let mut ctxs = Vec::with_capacity(inputs.len());
+    let mut allows = Vec::with_capacity(inputs.len());
+    for inp in inputs {
+        let lexed = lexer::lex(&inp.source);
+        let model = parser::parse(&lexed.toks);
+        let norm = inp.path.to_string_lossy().replace('\\', "/");
+        let (crate_ident, mods) = resolve::crate_and_module(&norm);
+        allows.push(parse_allows(&lexed.comments));
+        ctxs.push(resolve::FileCtx {
+            path: inp.path,
+            norm,
+            kind: inp.kind,
+            lexed,
+            model,
+            crate_ident,
+            mods,
+        });
+    }
+    (ctxs, allows)
+}
+
+/// Full analysis pipeline over a set of files: the per-file rules, then
+/// the interprocedural rules over the resolved workspace, then the
+/// pragma meta-rules last (so interprocedural justifications count as
+/// "used"). Findings come back sorted by (path, line, rule, message).
+pub fn analyze(inputs: Vec<AnalysisInput>, scope: ScanScope) -> Vec<Finding> {
+    let (ctxs, mut allows) = build_contexts(inputs);
+    let ws = resolve::Workspace::build(ctxs);
+    let mut findings = Vec::new();
+    for (fi, ctx) in ws.files.iter().enumerate() {
+        findings.extend(per_file_rules(ctx, scope, &mut allows[fi]));
+    }
+    findings.extend(interprocedural_rules(&ws, scope, &mut allows));
+    for (fi, ctx) in ws.files.iter().enumerate() {
+        findings.extend(meta_rules(ctx, &allows[fi]));
+    }
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.rule == b.rule);
+    findings
+}
+
+/// The seven per-file rules (schema 2 semantics, unchanged).
+fn per_file_rules(
+    ctx: &resolve::FileCtx,
+    scope: ScanScope,
+    allows: &mut Vec<Allow>,
+) -> Vec<Finding> {
+    let toks = &ctx.lexed.toks[..];
+    let model = &ctx.model;
+    let display_path = ctx.path.as_path();
+    let kind = ctx.kind;
+    let norm = ctx.norm.as_str();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let float_ord_exempt = path_ends(norm, &FLOAT_ORD_EXEMPT);
     let force = scope == ScanScope::ForceAll;
-    let raw_quantity_in_scope = force || path_in(&norm, &RAW_QUANTITY_CRATES);
+    let raw_quantity_in_scope = force || path_in(norm, &RAW_QUANTITY_CRATES);
     let unit_unwrap_in_scope =
-        (force || path_in(&norm, &UNIT_UNWRAP_CRATES)) && !path_ends(&norm, &PERF_CRITICAL_MODULES);
-    let env_read_sanctioned = path_ends(&norm, &ENV_READ_SANCTIONED);
+        (force || path_in(norm, &UNIT_UNWRAP_CRATES)) && !path_ends(norm, &PERF_CRITICAL_MODULES);
+    let env_sanctioned = env_read_sanctioned(norm);
     let library = kind == FileKind::Library;
 
     let mut push = |allows: &mut [Allow], line: usize, rule: Rule, message: String| {
@@ -507,7 +724,7 @@ pub fn scan_source(
         if !float_ord_exempt {
             if t.is_ident("partial_cmp") {
                 push(
-                    &mut allows,
+                    &mut *allows,
                     t.line,
                     Rule::FloatOrd,
                     "`partial_cmp` is NaN-unsafe; use uavdc_geom::cmp_f64 / cmp_f64_desc / TotalF64"
@@ -520,7 +737,7 @@ pub fn scan_source(
                     .or_else(|| float_lit_at(toks, i + 1).map(|x| x.text.clone()));
                 if let Some(lit) = lit {
                     push(
-                        &mut allows,
+                        &mut *allows,
                         t.line,
                         Rule::FloatOrd,
                         format!(
@@ -538,7 +755,7 @@ pub fn scan_source(
                 && toks.get(i + 1).is_some_and(|x| x.is_punct("!"))
             {
                 push(
-                    &mut allows,
+                    &mut *allows,
                     t.line,
                     Rule::PanicSite,
                     format!(
@@ -554,7 +771,7 @@ pub fn scan_source(
                 && toks.get(i + 2).is_some_and(|x| x.is_punct("("))
             {
                 push(
-                    &mut allows,
+                    &mut *allows,
                     toks[i + 1].line,
                     Rule::PanicSite,
                     format!(
@@ -567,7 +784,7 @@ pub fn scan_source(
             // nondeterminism.
             if t.kind == TokKind::Ident && NONDET_IDENTS.contains(&t.text.as_str()) {
                 push(
-                    &mut allows,
+                    &mut *allows,
                     t.line,
                     Rule::Nondeterminism,
                     format!(
@@ -581,7 +798,7 @@ pub fn scan_source(
             // through a different accessor (a fault-injection config
             // probed via `env::var_os`, say, is exactly as non-replayable
             // as one parsed from `env::var`).
-            if !env_read_sanctioned
+            if !env_sanctioned
                 && t.is_ident("env")
                 && toks.get(i + 1).is_some_and(|x| x.is_punct("::"))
                 && toks.get(i + 2).is_some_and(|x| {
@@ -589,7 +806,7 @@ pub fn scan_source(
                 })
             {
                 push(
-                    &mut allows,
+                    &mut *allows,
                     t.line,
                     Rule::EnvRead,
                     "`env::var` makes planner behaviour depend on ambient state; thread configuration through explicit parameters or justify with lint:allow"
@@ -605,7 +822,7 @@ pub fn scan_source(
                     && toks.get(i + 3).is_some_and(|x| x.is_punct(")"))
                 {
                     push(
-                        &mut allows,
+                        &mut *allows,
                         t.line,
                         Rule::UnitUnwrap,
                         "`.value()` escapes the unit layer; keep raw-f64 math inside a declared perf-critical module (DESIGN.md \u{a7}9) or justify with lint:allow"
@@ -644,7 +861,7 @@ pub fn scan_source(
                         && UNIT_TYPES.contains(&toks[k - 1].text.as_str())
                     {
                         push(
-                            &mut allows,
+                            &mut *allows,
                             t.line,
                             Rule::UnitUnwrap,
                             format!(
@@ -673,7 +890,7 @@ pub fn scan_source(
                         .cloned()
                         .unwrap_or_default();
                     push(
-                        &mut allows,
+                        &mut *allows,
                         p.line,
                         Rule::RawQuantity,
                         format!(
@@ -686,7 +903,7 @@ pub fn scan_source(
             if let Some(ret) = &f.ret {
                 if parser::type_has_f64(ret) && is_dimension_named(&f.name) {
                     push(
-                        &mut allows,
+                        &mut *allows,
                         f.line,
                         Rule::RawQuantity,
                         format!(
@@ -705,7 +922,7 @@ pub fn scan_source(
                 && is_dimension_named(&fld.name)
             {
                 push(
-                    &mut allows,
+                    &mut *allows,
                     fld.line,
                     Rule::RawQuantity,
                     format!(
@@ -753,7 +970,7 @@ pub fn scan_source(
                     };
                     if !lit_adjacent && (left || right) {
                         push(
-                            &mut allows,
+                            &mut *allows,
                             t.line,
                             Rule::FloatEq,
                             format!(
@@ -795,7 +1012,7 @@ pub fn scan_source(
                     }
                     if floaty {
                         push(
-                            &mut allows,
+                            &mut *allows,
                             t.line,
                             Rule::FloatEq,
                             format!(
@@ -812,11 +1029,18 @@ pub fn scan_source(
         }
     }
 
-    // --- Meta-rules: malformed or unused pragmas ----------------------
-    for a in &allows {
+    findings
+}
+
+/// Meta-rules over the pragma stream: malformed pragmas, and pragmas
+/// that suppressed nothing anywhere in the pipeline. Runs last so that
+/// pragmas consumed by the interprocedural rules count as used.
+fn meta_rules(ctx: &resolve::FileCtx, allows: &[Allow]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for a in allows {
         if a.rule.is_none() || !a.has_reason {
             findings.push(Finding {
-                path: display_path.to_path_buf(),
+                path: ctx.path.clone(),
                 line: a.line,
                 rule: Rule::MalformedAllow,
                 message: format!(
@@ -826,23 +1050,288 @@ pub fn scan_source(
             });
         } else if !a.used {
             findings.push(Finding {
-                path: display_path.to_path_buf(),
+                path: ctx.path.clone(),
                 line: a.line,
                 rule: Rule::UnusedAllow,
                 message: format!("pragma `{}` suppresses nothing; remove it", a.raw),
             });
         }
     }
+    findings
+}
 
-    // Stable order; collapse duplicate (line, rule) hits from multiple
-    // sites on one line.
-    findings.sort_by(|a, b| {
-        a.line
-            .cmp(&b.line)
-            .then(a.rule.cmp(&b.rule))
-            .then(a.message.cmp(&b.message))
-    });
-    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+/// Renders a witness call path (`entry -> … -> site fn`) from the BFS
+/// breadcrumbs, as fn names joined by ` -> `.
+fn witness_names<P: Clone>(
+    ws: &resolve::Workspace,
+    g: &callgraph::CallGraph,
+    reach: &[Option<dataflow::ReachInfo<P>>],
+    from: usize,
+) -> String {
+    dataflow::witness_path(reach, from)
+        .iter()
+        .map(|&n| {
+            let (fi, ni) = g.nodes[n].id;
+            ws.files[fi].model.fns[ni].name.clone()
+        })
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Is this node a planner entry point for the reachability rules?
+fn is_entry(ws: &resolve::Workspace, node: &callgraph::Node, scope: ScanScope) -> bool {
+    node.is_public_api
+        && (scope == ScanScope::ForceAll || path_in(&ws.files[node.id.0].norm, &ENTRY_CRATES))
+}
+
+/// The four whole-workspace rules of schema 3: effect-taint,
+/// panic-reach, unit-flow, obs-twin. See DESIGN.md §13 for the design
+/// and the declared soundness boundaries.
+fn interprocedural_rules(
+    ws: &resolve::Workspace,
+    scope: ScanScope,
+    allows: &mut [Vec<Allow>],
+) -> Vec<Finding> {
+    let graph = callgraph::CallGraph::build(
+        ws,
+        |fi, rule, line, mark| {
+            if mark {
+                is_allowed(&mut allows[fi], rule, line)
+            } else {
+                allowed_peek(&allows[fi], rule, line)
+            }
+        },
+        index_audited,
+    );
+    let mut findings = Vec::new();
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&n| is_entry(ws, &graph.nodes[n], scope))
+        .collect();
+
+    // --- effect-taint: nearest unjustified effect source reachable from
+    // each entry point, reported at the entry point with the shortest
+    // witness call path.
+    let effect_sources: Vec<(usize, (callgraph::EffectKind, callgraph::Site))> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(n, node)| {
+            node.effect_sites
+                .iter()
+                .find(|(_, s)| !s.justified)
+                .map(|(k, s)| (n, (*k, s.clone())))
+        })
+        .collect();
+    let effect_reach = dataflow::reach(&graph, &effect_sources);
+    for &e in &entries {
+        let Some(info) = &effect_reach[e] else {
+            continue;
+        };
+        let (kind, site) = &info.payload;
+        let (fi, ni) = graph.nodes[e].id;
+        let fun = &ws.files[fi].model.fns[ni];
+        let src_file = &ws.files[graph.nodes[info.source].id.0];
+        if !is_allowed(&mut allows[fi], Rule::EffectTaint, fun.line) {
+            findings.push(Finding {
+                path: ws.files[fi].path.clone(),
+                line: fun.line,
+                rule: Rule::EffectTaint,
+                message: format!(
+                    "public planner entry `{}` can reach {} ({} at {}:{}) via {}; make the chain effect-clean or justify with lint:allow(effect-taint)",
+                    fun.name,
+                    kind.label(),
+                    site.what,
+                    src_file.path.display(),
+                    site.line,
+                    witness_names(ws, &graph, &effect_reach, e),
+                ),
+            });
+        }
+    }
+
+    // --- panic-reach: same shape over panic and (non-audited) indexing
+    // sites.
+    let panic_sources: Vec<(usize, callgraph::Site)> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(n, node)| {
+            node.panic_sites
+                .iter()
+                .chain(node.index_sites.iter())
+                .filter(|s| !s.justified)
+                .min_by_key(|s| s.line)
+                .map(|s| (n, s.clone()))
+        })
+        .collect();
+    let panic_reach = dataflow::reach(&graph, &panic_sources);
+    for &e in &entries {
+        let Some(info) = &panic_reach[e] else {
+            continue;
+        };
+        let site = &info.payload;
+        let (fi, ni) = graph.nodes[e].id;
+        let fun = &ws.files[fi].model.fns[ni];
+        let src_file = &ws.files[graph.nodes[info.source].id.0];
+        if !is_allowed(&mut allows[fi], Rule::PanicReach, fun.line) {
+            findings.push(Finding {
+                path: ws.files[fi].path.clone(),
+                line: fun.line,
+                rule: Rule::PanicReach,
+                message: format!(
+                    "public planner entry `{}` can reach a panic site ({} at {}:{}) via {}; prove the site unreachable (pragma at the site) or justify with lint:allow(panic-reach)",
+                    fun.name,
+                    site.what,
+                    src_file.path.display(),
+                    site.line,
+                    witness_names(ws, &graph, &panic_reach, e),
+                ),
+            });
+        }
+    }
+
+    // --- unit-flow: a call that receives raw f64 from a transitive
+    // `.value()` escape without immediately re-wrapping it in a unit
+    // newtype. Perf-critical modules are exempt (they own raw-f64
+    // math); method calls are opaque (receiver types untracked).
+    let raw = dataflow::raw_producers(&graph);
+    for n in 0..graph.nodes.len() {
+        let (fi, ni) = graph.nodes[n].id;
+        let ctx = &ws.files[fi];
+        let fun = &ctx.model.fns[ni];
+        if ctx.kind != FileKind::Library || fun.in_test {
+            continue;
+        }
+        let force = scope == ScanScope::ForceAll;
+        let in_scope = (force || path_in(&ctx.norm, &UNIT_UNWRAP_CRATES))
+            && !path_ends(&ctx.norm, &PERF_CRITICAL_MODULES);
+        if !in_scope {
+            continue;
+        }
+        for (call, targets) in &graph.nodes[n].calls {
+            if call.method {
+                continue;
+            }
+            let Some(&producer) = targets.iter().find(|&&t| {
+                t != graph.nodes[n].id && graph.node_of(t).is_some_and(|ix| raw[ix].is_some())
+            }) else {
+                continue;
+            };
+            // `Joules(f(..))`-style immediate re-wrap launders cleanly.
+            let call_start = call.name_tok.saturating_sub(2 * call.quals.len());
+            let toks = &ctx.lexed.toks;
+            let wrapped = call_start >= 2
+                && toks[call_start - 1].is_punct("(")
+                && toks[call_start - 2].kind == TokKind::Ident
+                && UNIT_TYPES.contains(&toks[call_start - 2].text.as_str());
+            if wrapped {
+                continue;
+            }
+            let pix = graph.node_of(producer).unwrap_or(n);
+            let Some(pinfo) = &raw[pix] else { continue };
+            let src_file = &ws.files[graph.nodes[pinfo.source].id.0];
+            if !is_allowed(&mut allows[fi], Rule::UnitFlow, call.line) {
+                findings.push(Finding {
+                    path: ctx.path.clone(),
+                    line: call.line,
+                    rule: Rule::UnitFlow,
+                    message: format!(
+                        "`{}` in `{}` receives raw f64 laundered from a unit escape ({}:{}, chain {}) without re-entering a unit newtype; wrap the call (e.g. Joules(..)) or justify with lint:allow(unit-flow)",
+                        call.name,
+                        fun.name,
+                        src_file.path.display(),
+                        pinfo.payload,
+                        witness_names(ws, &graph, &raw, pix),
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- obs-twin coherence: every `X_obs` twin must have a same-file
+    // plain sibling that cleanly delegates to it (all non-plumbing
+    // callees of the sibling are the twin itself), so the recorder
+    // invisibility property cannot silently rot.
+    for (fi, ctx) in ws.files.iter().enumerate() {
+        if ctx.kind != FileKind::Library || callgraph::obs_sanctioned(&ctx.norm) {
+            continue;
+        }
+        for (ni, fun) in ctx.model.fns.iter().enumerate() {
+            if fun.in_test {
+                continue;
+            }
+            let Some(base) = fun.name.strip_suffix("_obs") else {
+                continue;
+            };
+            // `christofides_with_obs` pairs with `christofides`.
+            let base_short = base.strip_suffix("_with");
+            let sibs: Vec<usize> = ctx
+                .model
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(si, s)| {
+                    *si != ni
+                        && !s.in_test
+                        && (s.name == base || Some(s.name.as_str()) == base_short)
+                })
+                .map(|(si, _)| si)
+                .collect();
+            if sibs.is_empty() {
+                if !is_allowed(&mut allows[fi], Rule::ObsTwin, fun.line) {
+                    findings.push(Finding {
+                        path: ctx.path.clone(),
+                        line: fun.line,
+                        rule: Rule::ObsTwin,
+                        message: format!(
+                            "`{}` has no plain sibling `{}` in this file; every _obs twin needs a recorder-free wrapper (or justify with lint:allow(obs-twin))",
+                            fun.name, base,
+                        ),
+                    });
+                }
+                continue;
+            }
+            let delegates = sibs.iter().any(|&si| {
+                let Some(nx) = graph.node_of((fi, si)) else {
+                    return false;
+                };
+                let node = &graph.nodes[nx];
+                let mut calls_twin = false;
+                let mut clean = true;
+                for (call, targets) in &node.calls {
+                    if call.name == fun.name {
+                        calls_twin = true;
+                        continue;
+                    }
+                    // Recorder plumbing (NOOP recorder construction,
+                    // obs/compat callees) does not break coherence.
+                    let plumbing = targets.is_empty()
+                        || targets
+                            .iter()
+                            .all(|&(cfi, _)| callgraph::obs_sanctioned(&ws.files[cfi].norm));
+                    if !plumbing {
+                        clean = false;
+                    }
+                }
+                calls_twin && clean
+            });
+            if !delegates {
+                let s0 = &ctx.model.fns[sibs[0]];
+                if !is_allowed(&mut allows[fi], Rule::ObsTwin, s0.line) {
+                    findings.push(Finding {
+                        path: ctx.path.clone(),
+                        line: s0.line,
+                        rule: Rule::ObsTwin,
+                        message: format!(
+                            "plain `{}` does not cleanly delegate to its twin `{}` (same callees modulo recorder plumbing required); re-align the pair or justify with lint:allow(obs-twin)",
+                            s0.name, fun.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     findings
 }
 
@@ -875,44 +1364,166 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Scan every `.rs` file under `root` (classification by path) and
-/// return all findings, sorted by path, line, rule, message.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Read every `.rs` file under `root` into [`AnalysisInput`]s with
+/// workspace-relative display paths and path-based classification.
+pub fn workspace_inputs(root: &Path) -> std::io::Result<Vec<AnalysisInput>> {
+    let mut inputs = Vec::new();
     for file in collect_rs_files(root)? {
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
         let source = std::fs::read_to_string(&file)?;
-        findings.extend(scan_source(
-            &rel,
-            &source,
-            classify(&rel),
-            ScanScope::Workspace,
-        ));
+        let kind = classify(&rel);
+        inputs.push(AnalysisInput {
+            path: rel,
+            source,
+            kind,
+        });
     }
-    findings.sort_by(|a, b| {
-        a.path
-            .cmp(&b.path)
-            .then(a.line.cmp(&b.line))
-            .then(a.rule.cmp(&b.rule))
-            .then(a.message.cmp(&b.message))
-    });
-    Ok(findings)
+    Ok(inputs)
+}
+
+/// Scan every `.rs` file under `root` (classification by path) through
+/// the full pipeline — per-file, interprocedural, meta — and return all
+/// findings, sorted by path, line, rule, message.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(analyze(workspace_inputs(root)?, ScanScope::Workspace))
+}
+
+/// The `--graph` dump for a set of inputs: builds the same call graph
+/// the interprocedural rules use (pragmas honoured, never consumed) and
+/// renders it deterministically.
+pub fn graph_dump(inputs: Vec<AnalysisInput>) -> String {
+    let (ctxs, allows) = build_contexts(inputs);
+    let ws = resolve::Workspace::build(ctxs);
+    let graph = callgraph::CallGraph::build(
+        &ws,
+        |fi, rule, line, _mark| allowed_peek(&allows[fi], rule, line),
+        index_audited,
+    );
+    graph.dump(&ws)
+}
+
+/// Gather the analysis inputs for a CLI invocation: the workspace when
+/// no paths are given, otherwise exactly the named files/directories
+/// with `Library` strictness (display paths as written).
+fn cli_inputs(paths: &[PathBuf]) -> Result<(Vec<AnalysisInput>, ScanScope, PathBuf), String> {
+    if paths.is_empty() {
+        let root = workspace_root();
+        let inputs =
+            workspace_inputs(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+        return Ok((inputs, ScanScope::Workspace, root));
+    }
+    let mut inputs = Vec::new();
+    for p in paths {
+        let targets = if p.is_dir() {
+            collect_rs_files(p).map_err(|e| format!("reading {}: {e}", p.display()))?
+        } else {
+            vec![p.clone()]
+        };
+        for t in targets {
+            let source =
+                std::fs::read_to_string(&t).map_err(|e| format!("reading {}: {e}", t.display()))?;
+            inputs.push(AnalysisInput {
+                path: t,
+                source,
+                kind: FileKind::Library,
+            });
+        }
+    }
+    Ok((inputs, ScanScope::ForceAll, PathBuf::from(".")))
+}
+
+/// Deletes the `// lint:allow(..)` comment reported by an
+/// `unused-allow` finding from its line: the whole line when the pragma
+/// stands alone, otherwise just the trailing comment. Returns the
+/// removed pragma text, or `None` when the line does not contain a line
+/// comment (block-comment pragmas are left for manual cleanup).
+fn strip_pragma_line(line: &str) -> Option<(String, Option<String>)> {
+    let at = line.find("//")?;
+    if !line[at..].contains("lint:allow") {
+        return None;
+    }
+    let removed = line[at..].trim().to_string();
+    if line[..at].trim().is_empty() {
+        Some((removed, None))
+    } else {
+        Some((removed, Some(line[..at].trim_end().to_string())))
+    }
+}
+
+/// `--fix-unused` driver: removes every `unused-allow` pragma found by
+/// the given scan. Dry-run prints what it would do; `write` applies the
+/// edits. Returns the number of pragmas removed (or removable).
+fn fix_unused(findings: &[Finding], root: &Path, write: bool) -> std::io::Result<usize> {
+    use std::collections::BTreeMap;
+    let mut by_file: BTreeMap<&Path, Vec<usize>> = BTreeMap::new();
+    for f in findings {
+        if f.rule == Rule::UnusedAllow {
+            by_file.entry(f.path.as_path()).or_default().push(f.line);
+        }
+    }
+    let mut removed = 0usize;
+    for (rel, mut lines) in by_file {
+        let on_disk = if rel.is_absolute() || rel.exists() {
+            rel.to_path_buf()
+        } else {
+            root.join(rel)
+        };
+        let content = std::fs::read_to_string(&on_disk)?;
+        let mut out: Vec<Option<String>> = content.lines().map(|l| Some(l.to_string())).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        for &ln in &lines {
+            let Some(slot) = out.get_mut(ln - 1) else {
+                continue;
+            };
+            let Some(text) = slot.clone() else { continue };
+            match strip_pragma_line(&text) {
+                Some((pragma, rest)) => {
+                    removed += 1;
+                    let action = if write { "removed" } else { "would remove" };
+                    println!("{}:{}: {action} `{pragma}`", rel.display(), ln);
+                    *slot = rest;
+                }
+                None => {
+                    eprintln!(
+                        "{}:{}: pragma not on a `//` comment; skipping",
+                        rel.display(),
+                        ln
+                    );
+                }
+            }
+        }
+        if write {
+            let mut new_content: String = out.into_iter().flatten().collect::<Vec<_>>().join("\n");
+            if content.ends_with('\n') {
+                new_content.push('\n');
+            }
+            std::fs::write(&on_disk, new_content)?;
+        }
+    }
+    Ok(removed)
 }
 
 /// CLI entry point. Returns the process exit code.
 ///
-/// Usage: `uavdc-lint [--json] [--list-rules] [paths…]`. With no paths,
-/// scans the workspace this crate is part of. Explicit paths are
-/// scanned with `Library` strictness and `ForceAll` scope regardless of
-/// location, so fixture files under `tests/` still produce findings for
-/// every rule.
+/// Usage: `uavdc-lint [--json] [--graph] [--fix-unused [--write]]
+/// [--list-rules] [paths…]`. With no paths, scans the workspace this
+/// crate is part of. Explicit paths are scanned with `Library`
+/// strictness and `ForceAll` scope regardless of location, so fixture
+/// files under `tests/` still produce findings for every rule.
 pub fn run_cli() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut graph = false;
+    let mut fix = false;
+    let mut write = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--json" => json = true,
+            "--graph" => graph = true,
+            "--fix-unused" => fix = true,
+            "--write" => write = true,
             "--list-rules" => {
                 for r in Rule::all_source_rules() {
                     println!("{r}");
@@ -922,7 +1533,11 @@ pub fn run_cli() -> i32 {
                 return 0;
             }
             "--help" | "-h" => {
-                println!("usage: uavdc-lint [--json] [--list-rules] [paths...]");
+                println!(
+                    "usage: uavdc-lint [--json] [--graph] [--fix-unused [--write]] [--list-rules] [paths...]"
+                );
+                println!("  --graph       dump the workspace call graph instead of linting");
+                println!("  --fix-unused  delete unused-allow pragmas (dry-run; --write applies)");
                 println!("exit codes: 0 clean, 1 findings, 2 error");
                 return 0;
             }
@@ -933,54 +1548,46 @@ pub fn run_cli() -> i32 {
             p => paths.push(PathBuf::from(p)),
         }
     }
+    if write && !fix {
+        eprintln!("--write only makes sense with --fix-unused");
+        return 2;
+    }
 
-    let findings = if paths.is_empty() {
-        let root = workspace_root();
-        match scan_workspace(&root) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("uavdc-lint: scanning {}: {e}", root.display());
-                return 2;
-            }
+    let (inputs, scope, root) = match cli_inputs(&paths) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("uavdc-lint: {e}");
+            return 2;
         }
-    } else {
-        let mut all = Vec::new();
-        for p in &paths {
-            let targets = if p.is_dir() {
-                match collect_rs_files(p) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("uavdc-lint: reading {}: {e}", p.display());
-                        return 2;
-                    }
-                }
-            } else {
-                vec![p.clone()]
-            };
-            for t in targets {
-                match std::fs::read_to_string(&t) {
-                    Ok(src) => all.extend(scan_source(
-                        &t,
-                        &src,
-                        FileKind::Library,
-                        ScanScope::ForceAll,
-                    )),
-                    Err(e) => {
-                        eprintln!("uavdc-lint: reading {}: {e}", t.display());
-                        return 2;
-                    }
-                }
-            }
-        }
-        all.sort_by(|a, b| {
-            a.path
-                .cmp(&b.path)
-                .then(a.line.cmp(&b.line))
-                .then(a.rule.cmp(&b.rule))
-                .then(a.message.cmp(&b.message))
-        });
-        all
     };
+
+    if graph {
+        print!("{}", graph_dump(inputs));
+        return 0;
+    }
+
+    let findings = analyze(inputs, scope);
+
+    if fix {
+        return match fix_unused(&findings, &root, write) {
+            Ok(0) => {
+                eprintln!("uavdc-lint: no unused pragmas");
+                0
+            }
+            Ok(n) if write => {
+                eprintln!("uavdc-lint: removed {n} unused pragma(s)");
+                0
+            }
+            Ok(n) => {
+                eprintln!("uavdc-lint: {n} unused pragma(s); re-run with --write to remove");
+                0
+            }
+            Err(e) => {
+                eprintln!("uavdc-lint: fixing: {e}");
+                2
+            }
+        };
+    }
 
     if json {
         println!("{}", report_json(&findings));
@@ -1233,8 +1840,8 @@ mod tests {
             message: "m".into(),
         }];
         let j = report_json(&f);
-        assert!(j.starts_with("{\"schema\":\"uavdc-lint/2\""));
-        assert!(j.contains("\"rules\":[\"float-ord\",\"panic-site\",\"nondeterminism\",\"raw-quantity\",\"unit-unwrap\",\"float-eq\",\"env-read\"]"));
+        assert!(j.starts_with("{\"schema\":\"uavdc-lint/3\""));
+        assert!(j.contains("\"rules\":[\"float-ord\",\"panic-site\",\"nondeterminism\",\"raw-quantity\",\"unit-unwrap\",\"float-eq\",\"env-read\",\"effect-taint\",\"panic-reach\",\"unit-flow\",\"obs-twin\"]"));
         assert!(j.ends_with("\"count\":1}"));
     }
 

@@ -199,6 +199,18 @@ impl<'a> Parser<'a> {
                 pending_pub = false;
                 continue;
             }
+            // Function qualifiers sit between the visibility and the `fn`
+            // keyword (`pub async fn`, `pub const unsafe fn`,
+            // `pub extern "C" fn`); they must not reset a pending `pub`.
+            if t.is_ident("async")
+                || t.is_ident("unsafe")
+                || t.is_ident("const")
+                || t.is_ident("extern")
+                || (pending_pub && t.kind == TokKind::Str)
+            {
+                self.bump();
+                continue;
+            }
             // Any other token resets a dangling visibility (e.g. `pub use`,
             // `pub mod`, `pub const` — items the rules don't model).
             if t.kind == TokKind::Ident || t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
@@ -782,5 +794,77 @@ mod tests {
         let f = m.fns.iter().find(|f| f.name == "plan").unwrap();
         assert!(f.body.is_none());
         assert_eq!(f.params.len(), 2);
+    }
+
+    #[test]
+    fn fn_qualifiers_do_not_reset_visibility() {
+        // `async`/`unsafe`/`const`/`extern "C"` sit between `pub` and `fn`;
+        // the parser must carry the visibility across them.
+        let (m, _) = model(concat!(
+            "pub async fn fetch_batch(n: usize) -> f64 { n as f64 }\n",
+            "pub const fn arity() -> usize { 2 }\n",
+            "pub unsafe fn raw_read(p: *const f64) -> f64 { *p }\n",
+            "pub extern \"C\" fn abi_hook(x: f64) -> f64 { x }\n",
+            "async fn private_fetch() {}\n",
+        ));
+        let vis: Vec<(&str, bool)> = m.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            vis,
+            vec![
+                ("fetch_batch", true),
+                ("arity", true),
+                ("raw_read", true),
+                ("abi_hook", true),
+                ("private_fetch", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn pub_const_item_does_not_leak_visibility() {
+        // A `pub const NAME: T = ...;` item skips the `const` qualifier but
+        // the item name must still clear the dangling `pub` so the next
+        // private fn stays private.
+        let (m, _) = model("pub const BUDGET_J: f64 = 1.0;\nfn consume() {}\n");
+        let f = m.fns.iter().find(|f| f.name == "consume").unwrap();
+        assert!(!f.is_pub);
+    }
+
+    #[test]
+    fn impl_trait_return_is_modeled_verbatim() {
+        let (m, _) = model(
+            "pub fn route_iter(n: usize) -> impl Iterator<Item = f64> { (0..n).map(|i| i as f64) }\nfn after() {}\n",
+        );
+        let f = m.fns.iter().find(|f| f.name == "route_iter").unwrap();
+        let ret = f.ret.as_deref().unwrap();
+        assert!(ret.contains("impl"), "ret was {ret:?}");
+        assert!(ret.contains("Iterator"), "ret was {ret:?}");
+        // The opaque return type must not swallow the following item.
+        assert!(m.fns.iter().any(|f| f.name == "after"));
+    }
+
+    #[test]
+    fn nested_closures_stay_inside_owning_fn() {
+        // Closures are deliberately opaque to the call graph: calls inside
+        // them attribute to the owning fn, and closure params never become
+        // fns of their own.
+        let src = "fn score(xs: &[f64]) -> f64 {\n    let outer = |a: f64| {\n        let inner = |b: f64| b * 2.0;\n        inner(a) + 1.0\n    };\n    xs.iter().map(|x| outer(*x)).sum()\n}\nfn tail() {}\n";
+        let (m, _) = model(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["score", "tail"]);
+        let score = &m.fns[0];
+        let (b0, b1) = score.body.unwrap();
+        assert!(b1 > b0);
+    }
+
+    #[test]
+    fn chained_generic_method_calls_do_not_derail() {
+        // Method chains through turbofish generics (`collect::<Vec<_>>()`)
+        // must not confuse the `<`/`>` skipper into eating the next item.
+        let src = "pub fn gather(xs: &[u32]) -> Vec<f64> {\n    xs.iter().map(|x| *x as f64).filter(|v| *v > 0.0).collect::<Vec<f64>>()\n}\npub fn sentinel() {}\n";
+        let (m, _) = model(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["gather", "sentinel"]);
+        assert!(m.fns.iter().all(|f| f.is_pub));
     }
 }

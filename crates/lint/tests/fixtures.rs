@@ -142,11 +142,125 @@ fn json_output_is_machine_readable() {
     assert_eq!(code, 1);
     let doc = stdout.trim();
     assert!(
-        doc.starts_with("{\"schema\":\"uavdc-lint/2\"") && doc.ends_with('}'),
+        doc.starts_with("{\"schema\":\"uavdc-lint/3\"") && doc.ends_with('}'),
         "single schema-tagged JSON document: {doc}"
     );
     assert!(doc.contains("\"rule\":\"nondeterminism\""), "doc: {doc}");
     assert!(doc.contains("\"count\":"), "doc: {doc}");
+}
+
+#[test]
+fn effect_taint_fixture_fails_with_witness_path() {
+    let out = expect_rule("effect_taint.rs_fixture", "effect-taint");
+    assert!(
+        out.contains("via plan_entry -> helper_a -> helper_b"),
+        "shortest witness call path printed:\n{out}"
+    );
+    assert!(
+        out.contains("wall-clock read") && out.contains("Instant::now"),
+        "effect kind and source named:\n{out}"
+    );
+    // Reported once, at the entry point, not at every hop.
+    assert_eq!(out.matches(": effect-taint:").count(), 1, "stdout:\n{out}");
+}
+
+#[test]
+fn panic_reach_fixture_fails_with_witness_path() {
+    let out = expect_rule("panic_reach.rs_fixture", "panic-reach");
+    assert!(
+        out.contains("via plan_entry -> pick"),
+        "witness call path printed:\n{out}"
+    );
+    assert!(
+        out.contains("indexing") && out.contains("panic_reach.rs_fixture:10"),
+        "source site named with file:line:\n{out}"
+    );
+}
+
+#[test]
+fn unit_flow_fixture_fails_and_wrap_launders() {
+    let out = expect_rule("unit_flow.rs_fixture", "unit-flow");
+    // The unwrapped call in `report` is flagged; the `Joules(..)`-wrapped
+    // call in `report_wrapped` launders cleanly.
+    assert_eq!(out.matches(": unit-flow:").count(), 1, "stdout:\n{out}");
+    assert!(
+        out.contains("`raw_energy` in `report`") && out.contains("chain raw_energy"),
+        "producer chain printed:\n{out}"
+    );
+}
+
+#[test]
+fn obs_twin_fixture_fails_both_ways() {
+    let out = expect_rule("obs_twin.rs_fixture", "obs-twin");
+    assert_eq!(out.matches(": obs-twin:").count(), 2, "stdout:\n{out}");
+    assert!(
+        out.contains("plain `solve` does not cleanly delegate"),
+        "broken delegation flagged:\n{out}"
+    );
+    assert!(
+        out.contains("`orphan_obs` has no plain sibling"),
+        "orphan twin flagged:\n{out}"
+    );
+}
+
+#[test]
+fn graph_dump_mode_shows_edges_and_hazards() {
+    let path = fixture("effect_taint.rs_fixture");
+    let (code, stdout) = run_lint(&["--graph", path.to_str().unwrap()]);
+    assert_eq!(code, 0, "--graph is a dump, not a lint:\n{stdout}");
+    assert!(
+        stdout.contains("plan_entry") && stdout.contains("-> ["),
+        "edges rendered:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("effects=1+0"),
+        "helper_b's live effect site counted:\n{stdout}"
+    );
+}
+
+/// A scratch path in the target tmpdir so `--fix-unused --write` can
+/// mutate a copy without touching the committed fixture.
+fn scratch_copy(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir.join(name)
+}
+
+#[test]
+fn fix_unused_dry_run_reports_without_editing() {
+    let copy = scratch_copy("unused_pragma_dry.rs_fixture.tmp");
+    std::fs::copy(fixture("unused_pragma.rs_fixture"), &copy).expect("copy");
+    let before = std::fs::read_to_string(&copy).unwrap();
+    let (code, stdout) = run_lint(&["--fix-unused", copy.to_str().unwrap()]);
+    assert_eq!(code, 0, "dry run exits 0:\n{stdout}");
+    assert_eq!(
+        stdout.matches("would remove").count(),
+        2,
+        "both stale pragmas listed:\n{stdout}"
+    );
+    let after = std::fs::read_to_string(&copy).unwrap();
+    assert_eq!(before, after, "dry run must not edit the file");
+}
+
+#[test]
+fn fix_unused_write_removes_only_stale_pragmas() {
+    let copy = scratch_copy("unused_pragma_write.rs_fixture.tmp");
+    std::fs::copy(fixture("unused_pragma.rs_fixture"), &copy).expect("copy");
+    let (code, stdout) = run_lint(&["--fix-unused", "--write", copy.to_str().unwrap()]);
+    assert_eq!(code, 0, "write run exits 0:\n{stdout}");
+    assert_eq!(stdout.matches("removed").count(), 2, "stdout:\n{stdout}");
+    let after = std::fs::read_to_string(&copy).unwrap();
+    assert!(
+        !after.contains("lint:allow(nondeterminism)") && !after.contains("refactored away"),
+        "stale pragmas deleted (whole line and trailing comment):\n{after}"
+    );
+    assert!(
+        after.contains("lint:allow(panic-site): fixture exercises a justified unwrap"),
+        "live pragma preserved:\n{after}"
+    );
+    // The fixed file now lints clean.
+    let (code, stdout) = run_lint(&[copy.to_str().unwrap()]);
+    assert_eq!(code, 0, "fixed file is clean:\n{stdout}");
 }
 
 /// Golden test: `--json` over the four rule-mutation fixtures must emit
@@ -186,7 +300,7 @@ fn json_report_matches_golden_snapshot() {
 }
 
 #[test]
-fn list_rules_names_all_nine() {
+fn list_rules_names_all_thirteen() {
     let (code, stdout) = run_lint(&["--list-rules"]);
     assert_eq!(code, 0);
     let rules: Vec<&str> = stdout.lines().collect();
@@ -200,10 +314,36 @@ fn list_rules_names_all_nine() {
             "unit-unwrap",
             "float-eq",
             "env-read",
+            "effect-taint",
+            "panic-reach",
+            "unit-flow",
+            "obs-twin",
             "unused-allow",
             "malformed-allow",
         ],
         "stdout:\n{stdout}"
+    );
+}
+
+/// Golden test for the CI gate: a full workspace scan must match the
+/// committed snapshot byte-for-byte — today that is the clean document
+/// (schema 3, all rules, zero findings). A drift here means either a new
+/// finding slipped in or the schema changed without regenerating
+/// `tests/golden/workspace_report.json`.
+#[test]
+fn workspace_json_matches_golden_snapshot() {
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/workspace_report.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("read workspace golden");
+    let findings =
+        uavdc_lint::scan_workspace(&uavdc_lint::workspace_root()).expect("workspace scan");
+    let mut doc = uavdc_lint::report_json(&findings);
+    doc.push('\n');
+    assert_eq!(
+        doc, golden,
+        "workspace report drifted from tests/golden/workspace_report.json; \
+         if intentional, regenerate with:\n  \
+         cargo run -q -p uavdc-lint -- --json > crates/lint/tests/golden/workspace_report.json"
     );
 }
 
