@@ -121,6 +121,65 @@ fn map_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn adversarial_quantizing_comparator_keeps_tie_breaks_bit_identical() {
+    // The nastiest comparator for a chunked scan: quantize scores into
+    // wide buckets so that *most* pairs compare equal even when the raw
+    // floats differ. Any schedule-dependence in how per-chunk winners
+    // merge would pick a different representative of the top bucket;
+    // the winning (bits, index) pair must instead match the serial scan
+    // exactly for every thread count, including oversubscription.
+    let quantized = |a: &(f64, usize), b: &(f64, usize)| (a.0 / 8.0).floor() > (b.0 / 8.0).floor();
+    for &n in &[1usize, 2, 7, 64, 257, 1000] {
+        for seed in 0..4u64 {
+            let mut rng = Rng(seed * 7919 + n as u64);
+            // Raw scores in [0, 32): only four quantization buckets, so
+            // the top bucket holds ~n/4 tied candidates.
+            let scores: Vec<Option<f64>> = (0..n)
+                .map(|_| match rng.below(6) {
+                    0 => None,
+                    r => Some(r as f64 * 5.3),
+                })
+                .collect();
+            let run = |threads: usize| {
+                chunked_argmax_with(n, threads, |c| scores[c].map(|s| (s, c)), quantized)
+            };
+            let serial = run(1);
+            for &t in &THREAD_COUNTS {
+                let got = run(t);
+                assert_eq!(
+                    got.map(|(s, c)| (s.to_bits(), c)),
+                    serial.map(|(s, c)| (s.to_bits(), c)),
+                    "quantized argmax diverged at n={n} seed={seed} threads={t}"
+                );
+            }
+            let got = run(n + 5);
+            assert_eq!(
+                got.map(|(s, c)| (s.to_bits(), c)),
+                serial.map(|(s, c)| (s.to_bits(), c)),
+                "quantized argmax diverged oversubscribed at n={n} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_comparator_map_order_matches_serial() {
+    // The same tie-heavy inputs through `chunked_map_with`: result
+    // order must be the batch order bit-for-bit, never the completion
+    // order of the worker threads.
+    for &n in &[1usize, 7, 257, 1000] {
+        let mut rng = Rng(n as u64 + 31);
+        let batch: Vec<f64> = (0..n).map(|_| (rng.below(4) as f64) * 5.3).collect();
+        let f = |x: &f64| ((x / 8.0).floor()).to_bits();
+        let serial: Vec<u64> = batch.iter().map(f).collect();
+        for &t in &THREAD_COUNTS {
+            let got = chunked_map_with(&batch, t, f);
+            assert_eq!(got, serial, "quantized map diverged at n={n} threads={t}");
+        }
+    }
+}
+
+#[test]
 fn map_preserves_batch_order() {
     let batch: Vec<usize> = (0..1000).collect();
     for &t in &THREAD_COUNTS {

@@ -73,6 +73,13 @@ pub struct Node {
     pub index_sites: Vec<Site>,
     /// Effect sites with their kind.
     pub effect_sites: Vec<(EffectKind, Site)>,
+    /// Spawn sites (`scope.spawn` / `thread::spawn`) with closure body
+    /// ranges (lint v4 concurrency layer).
+    pub spawn_sites: Vec<crate::concurrency::SpawnSite>,
+    /// Direct `.lock()` acquisitions with guard-liveness ranges.
+    pub lock_sites: Vec<crate::concurrency::LockSite>,
+    /// `Ordering::Relaxed` atomic-access sites.
+    pub atomic_sites: Vec<Site>,
     /// Body contains a `.value()` / `Unit(..).0` unit escape.
     pub unit_escape: Option<usize>,
     /// Return type mentions `f64`.
@@ -131,6 +138,9 @@ impl CallGraph {
                     panic_sites: Vec::new(),
                     index_sites: Vec::new(),
                     effect_sites: Vec::new(),
+                    spawn_sites: Vec::new(),
+                    lock_sites: Vec::new(),
+                    atomic_sites: Vec::new(),
                     unit_escape: None,
                     returns_f64: fun.ret.as_deref().is_some_and(crate::parser::type_has_f64),
                     is_public_api: fun.is_pub && !fun.in_test && file.kind == FileKind::Library,
@@ -160,6 +170,19 @@ impl CallGraph {
                             &mut node,
                             |rule, line, mark| allowed(fi, rule, line, mark),
                             &index_audited,
+                        );
+                    }
+                    // Concurrency hazards are collected even in
+                    // sanctioned obs/compat code — the recorder's Mutex
+                    // and the shim's spawns are exactly what the lock
+                    // rules patrol.
+                    if file.kind == FileKind::Library && !fun.in_test {
+                        crate::concurrency::collect_sites(
+                            file,
+                            lo,
+                            hi,
+                            &mut node,
+                            |rule, line, mark| allowed(fi, rule, line, mark),
                         );
                     }
                 }
@@ -224,7 +247,7 @@ impl CallGraph {
             let live = |sites: &[Site]| sites.iter().filter(|s| !s.justified).count();
             let justified = |sites: &[Site]| sites.iter().filter(|s| s.justified).count();
             let effects: Vec<Site> = node.effect_sites.iter().map(|(_, s)| s.clone()).collect();
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 " panics={}+{} indexing={}+{} effects={}+{}{}",
                 live(&node.panic_sites),
@@ -239,6 +262,55 @@ impl CallGraph {
                     ""
                 },
             );
+            if !node.lock_sites.is_empty() {
+                let _ = write!(
+                    out,
+                    " locks={}+{}",
+                    node.lock_sites.iter().filter(|s| !s.justified).count(),
+                    node.lock_sites.iter().filter(|s| s.justified).count(),
+                );
+            }
+            if !node.atomic_sites.is_empty() {
+                let _ = write!(
+                    out,
+                    " relaxed={}+{}",
+                    live(&node.atomic_sites),
+                    justified(&node.atomic_sites),
+                );
+            }
+            if !node.spawn_sites.is_empty() {
+                let lines: Vec<String> = node
+                    .spawn_sites
+                    .iter()
+                    .map(|s| format!("l{}", s.line))
+                    .collect();
+                let _ = write!(out, " spawns=[{}]", lines.join(", "));
+                // Spawn-edge annotation: resolved callees whose call
+                // site sits inside a spawned closure body, so witness
+                // paths through spawned closures are reproducible from
+                // the artifact alone.
+                let mut spawn_edges: Vec<String> = Vec::new();
+                for (call, targets) in &node.calls {
+                    let Some(site) = node.spawn_sites.iter().find(|s| s.covers(call.name_tok))
+                    else {
+                        continue;
+                    };
+                    for &(cfi, cni) in targets {
+                        let cf = &ws.files[cfi];
+                        let label = format!(
+                            "{}::{}@l{}",
+                            cf.crate_ident, cf.model.fns[cni].name, site.line
+                        );
+                        if !spawn_edges.contains(&label) {
+                            spawn_edges.push(label);
+                        }
+                    }
+                }
+                if !spawn_edges.is_empty() {
+                    let _ = write!(out, " spawn-> [{}]", spawn_edges.join(", "));
+                }
+            }
+            out.push('\n');
         }
         out
     }

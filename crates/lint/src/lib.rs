@@ -40,7 +40,7 @@
 //! sites across crates, a call-graph builder ([`callgraph`]) attaches
 //! local hazard sites to each function, and a fixed-point dataflow
 //! layer ([`dataflow`]) propagates them. Four interprocedural rules run
-//! on top (JSON schema `uavdc-lint/3`):
+//! on top (introduced with JSON schema `uavdc-lint/3`):
 //!
 //! * [`Rule::EffectTaint`] — nondeterminism sources (time, unseeded
 //!   RNG, hash-order iteration, env reads) reachable from public
@@ -52,6 +52,19 @@
 //!   newtype.
 //! * [`Rule::ObsTwin`] — every `_obs` twin must have a plain sibling
 //!   that cleanly delegates to it (recorder invisibility coherence).
+//!
+//! Since PR 8 a concurrency layer ([`concurrency`], JSON schema
+//! `uavdc-lint/4`) adds spawn/lock/atomic hazard inventories to the
+//! call graph and four more interprocedural rules:
+//!
+//! * [`Rule::ParPurity`] — closures and comparators handed to the
+//!   chunked parallel engines must be capture-clean and effect-pure.
+//! * [`Rule::LockAcrossSpawn`] — no guard live across a spawn, no
+//!   re-entrant lock, no lock-order cycle.
+//! * [`Rule::AtomicOrdering`] — no `Ordering::Relaxed` reachable from a
+//!   planner entry point (timing-only counters are pragma-allowlisted).
+//! * [`Rule::SharedAccumulator`] — no scheduler-order-dependent
+//!   `fetch_add` / `lock().push()` accumulation inside spawned closures.
 //!
 //! Findings are reported as `path:line: rule: message`, one per line.
 //! A finding is suppressed with a pragma comment on the same line or the
@@ -69,6 +82,7 @@
 //! error.
 
 pub mod callgraph;
+pub mod concurrency;
 pub mod dataflow;
 pub mod lexer;
 pub mod parser;
@@ -113,6 +127,19 @@ pub enum Rule {
     /// An `_obs` twin whose plain wrapper does not cleanly delegate to
     /// it (recorder-invisibility coherence).
     ObsTwin,
+    /// A closure (or named comparator) passed to a chunked parallel
+    /// engine that captures interior-mutable state, writes its captures,
+    /// or can reach an effect source through the call graph.
+    ParPurity,
+    /// A `MutexGuard` live across a spawn site, a re-entrant lock
+    /// acquisition while the guard is held, or a lock-order cycle.
+    LockAcrossSpawn,
+    /// An `Ordering::Relaxed` atomic access reachable from a public
+    /// planner entry point.
+    AtomicOrdering,
+    /// A `fetch_add`-family or `lock().push()` accumulation inside a
+    /// spawned closure whose merge order is scheduler-dependent.
+    SharedAccumulator,
     /// A `lint:allow` pragma that suppressed nothing.
     UnusedAllow,
     /// A `lint:allow` pragma without a rule name or without a reason.
@@ -134,6 +161,10 @@ impl Rule {
             Rule::PanicReach => "panic-reach",
             Rule::UnitFlow => "unit-flow",
             Rule::ObsTwin => "obs-twin",
+            Rule::ParPurity => "par-purity",
+            Rule::LockAcrossSpawn => "lock-across-spawn",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::SharedAccumulator => "shared-accumulator",
             Rule::UnusedAllow => "unused-allow",
             Rule::MalformedAllow => "malformed-allow",
         }
@@ -153,6 +184,10 @@ impl Rule {
             "panic-reach" => Some(Rule::PanicReach),
             "unit-flow" => Some(Rule::UnitFlow),
             "obs-twin" => Some(Rule::ObsTwin),
+            "par-purity" => Some(Rule::ParPurity),
+            "lock-across-spawn" => Some(Rule::LockAcrossSpawn),
+            "atomic-ordering" => Some(Rule::AtomicOrdering),
+            "shared-accumulator" => Some(Rule::SharedAccumulator),
             "unused-allow" => Some(Rule::UnusedAllow),
             "malformed-allow" => Some(Rule::MalformedAllow),
             _ => None,
@@ -160,9 +195,10 @@ impl Rule {
     }
 
     /// All rules that scan source directly (pragma meta-rules excluded):
-    /// the seven per-file rules plus the four interprocedural rules of
-    /// schema `uavdc-lint/3`.
-    pub fn all_source_rules() -> [Rule; 11] {
+    /// the seven per-file rules, the four interprocedural rules of
+    /// schema `uavdc-lint/3`, and the four concurrency rules added by
+    /// schema `uavdc-lint/4`.
+    pub fn all_source_rules() -> [Rule; 15] {
         [
             Rule::FloatOrd,
             Rule::PanicSite,
@@ -175,6 +211,10 @@ impl Rule {
             Rule::PanicReach,
             Rule::UnitFlow,
             Rule::ObsTwin,
+            Rule::ParPurity,
+            Rule::LockAcrossSpawn,
+            Rule::AtomicOrdering,
+            Rule::SharedAccumulator,
         ]
     }
 }
@@ -265,7 +305,7 @@ impl Finding {
 /// The full machine-readable report for a scan: a single JSON document
 /// with a schema tag, the enabled rules, and the sorted findings.
 pub fn report_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"schema\":\"uavdc-lint/3\",\"rules\":[");
+    let mut out = String::from("{\"schema\":\"uavdc-lint/4\",\"rules\":[");
     let mut first = true;
     for r in Rule::all_source_rules() {
         if !first {
@@ -284,6 +324,43 @@ pub fn report_json(findings: &[Finding]) -> String {
         out.push_str(&f.to_json());
     }
     out.push_str(&format!("],\"count\":{}}}", findings.len()));
+    out
+}
+
+/// The findings rendered as a SARIF 2.1.0 document, the interchange
+/// format GitHub code scanning ingests. Single-line, deterministic
+/// (rules in `all_source_rules` order plus the meta-rules, results in
+/// the already-sorted findings order), and dependency-free like the
+/// JSON reporter.
+pub fn report_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"uavdc-lint\",\"informationUri\":\"https://github.com/uavdc/uavdc\",\"rules\":[",
+    );
+    let mut first = true;
+    for r in Rule::all_source_rules()
+        .into_iter()
+        .chain([Rule::UnusedAllow, Rule::MalformedAllow])
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{{\"id\":\"{}\"}}", r.name()));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            f.rule.name(),
+            json_escape(&f.message),
+            json_escape(&f.path.display().to_string().replace('\\', "/")),
+            f.line,
+        ));
+    }
+    out.push_str("]}]}");
     out
 }
 
@@ -1084,9 +1161,10 @@ fn is_entry(ws: &resolve::Workspace, node: &callgraph::Node, scope: ScanScope) -
         && (scope == ScanScope::ForceAll || path_in(&ws.files[node.id.0].norm, &ENTRY_CRATES))
 }
 
-/// The four whole-workspace rules of schema 3: effect-taint,
-/// panic-reach, unit-flow, obs-twin. See DESIGN.md §13 for the design
-/// and the declared soundness boundaries.
+/// The whole-workspace rules: the schema-3 four (effect-taint,
+/// panic-reach, unit-flow, obs-twin; DESIGN.md §13) plus the schema-4
+/// concurrency layer (par-purity, lock-across-spawn, atomic-ordering,
+/// shared-accumulator; DESIGN.md §14).
 fn interprocedural_rules(
     ws: &resolve::Workspace,
     scope: ScanScope,
@@ -1332,6 +1410,17 @@ fn interprocedural_rules(
         }
     }
 
+    // --- concurrency layer (schema 4): par-purity, lock-across-spawn,
+    // atomic-ordering, shared-accumulator. Reuses the graph, the entry
+    // set, and the effect-taint fixed point. See DESIGN.md §14.
+    findings.extend(concurrency::check(
+        ws,
+        &graph,
+        &entries,
+        &effect_reach,
+        |fi, rule, line| is_allowed(&mut allows[fi], rule, line),
+    ));
+
     findings
 }
 
@@ -1506,24 +1595,29 @@ fn fix_unused(findings: &[Finding], root: &Path, write: bool) -> std::io::Result
 
 /// CLI entry point. Returns the process exit code.
 ///
-/// Usage: `uavdc-lint [--json] [--graph] [--fix-unused [--write]]
-/// [--list-rules] [paths…]`. With no paths, scans the workspace this
-/// crate is part of. Explicit paths are scanned with `Library`
-/// strictness and `ForceAll` scope regardless of location, so fixture
-/// files under `tests/` still produce findings for every rule.
+/// Usage: `uavdc-lint [--json] [--sarif] [--graph]
+/// [--fix-unused [--write|--check]] [--list-rules] [paths…]`. With no
+/// paths, scans the workspace this crate is part of. Explicit paths are
+/// scanned with `Library` strictness and `ForceAll` scope regardless of
+/// location, so fixture files under `tests/` still produce findings for
+/// every rule.
 pub fn run_cli() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut sarif = false;
     let mut graph = false;
     let mut fix = false;
     let mut write = false;
+    let mut check = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--graph" => graph = true,
             "--fix-unused" => fix = true,
             "--write" => write = true,
+            "--check" => check = true,
             "--list-rules" => {
                 for r in Rule::all_source_rules() {
                     println!("{r}");
@@ -1534,10 +1628,13 @@ pub fn run_cli() -> i32 {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: uavdc-lint [--json] [--graph] [--fix-unused [--write]] [--list-rules] [paths...]"
+                    "usage: uavdc-lint [--json] [--sarif] [--graph] [--fix-unused [--write|--check]] [--list-rules] [paths...]"
                 );
+                println!("  --json        machine-readable report (schema uavdc-lint/4)");
+                println!("  --sarif       SARIF 2.1.0 report for code-scanning upload");
                 println!("  --graph       dump the workspace call graph instead of linting");
-                println!("  --fix-unused  delete unused-allow pragmas (dry-run; --write applies)");
+                println!("  --fix-unused  delete unused-allow pragmas (dry-run; --write applies,");
+                println!("                --check exits 1 when stale pragmas exist, for CI)");
                 println!("exit codes: 0 clean, 1 findings, 2 error");
                 return 0;
             }
@@ -1548,8 +1645,12 @@ pub fn run_cli() -> i32 {
             p => paths.push(PathBuf::from(p)),
         }
     }
-    if write && !fix {
-        eprintln!("--write only makes sense with --fix-unused");
+    if (write || check) && !fix {
+        eprintln!("--write/--check only make sense with --fix-unused");
+        return 2;
+    }
+    if write && check {
+        eprintln!("--write and --check are mutually exclusive");
         return 2;
     }
 
@@ -1578,6 +1679,12 @@ pub fn run_cli() -> i32 {
                 eprintln!("uavdc-lint: removed {n} unused pragma(s)");
                 0
             }
+            Ok(n) if check => {
+                eprintln!(
+                    "uavdc-lint: {n} stale pragma(s) suppress nothing; run `cargo run -p uavdc-lint -- --fix-unused --write` locally and commit the result"
+                );
+                1
+            }
             Ok(n) => {
                 eprintln!("uavdc-lint: {n} unused pragma(s); re-run with --write to remove");
                 0
@@ -1589,7 +1696,9 @@ pub fn run_cli() -> i32 {
         };
     }
 
-    if json {
+    if sarif {
+        println!("{}", report_sarif(&findings));
+    } else if json {
         println!("{}", report_json(&findings));
     } else {
         for f in &findings {
@@ -1840,8 +1949,8 @@ mod tests {
             message: "m".into(),
         }];
         let j = report_json(&f);
-        assert!(j.starts_with("{\"schema\":\"uavdc-lint/3\""));
-        assert!(j.contains("\"rules\":[\"float-ord\",\"panic-site\",\"nondeterminism\",\"raw-quantity\",\"unit-unwrap\",\"float-eq\",\"env-read\",\"effect-taint\",\"panic-reach\",\"unit-flow\",\"obs-twin\"]"));
+        assert!(j.starts_with("{\"schema\":\"uavdc-lint/4\""));
+        assert!(j.contains("\"rules\":[\"float-ord\",\"panic-site\",\"nondeterminism\",\"raw-quantity\",\"unit-unwrap\",\"float-eq\",\"env-read\",\"effect-taint\",\"panic-reach\",\"unit-flow\",\"obs-twin\",\"par-purity\",\"lock-across-spawn\",\"atomic-ordering\",\"shared-accumulator\"]"));
         assert!(j.ends_with("\"count\":1}"));
     }
 

@@ -142,7 +142,7 @@ fn json_output_is_machine_readable() {
     assert_eq!(code, 1);
     let doc = stdout.trim();
     assert!(
-        doc.starts_with("{\"schema\":\"uavdc-lint/3\"") && doc.ends_with('}'),
+        doc.starts_with("{\"schema\":\"uavdc-lint/4\"") && doc.ends_with('}'),
         "single schema-tagged JSON document: {doc}"
     );
     assert!(doc.contains("\"rule\":\"nondeterminism\""), "doc: {doc}");
@@ -300,7 +300,7 @@ fn json_report_matches_golden_snapshot() {
 }
 
 #[test]
-fn list_rules_names_all_thirteen() {
+fn list_rules_names_all_seventeen() {
     let (code, stdout) = run_lint(&["--list-rules"]);
     assert_eq!(code, 0);
     let rules: Vec<&str> = stdout.lines().collect();
@@ -318,6 +318,10 @@ fn list_rules_names_all_thirteen() {
             "panic-reach",
             "unit-flow",
             "obs-twin",
+            "par-purity",
+            "lock-across-spawn",
+            "atomic-ordering",
+            "shared-accumulator",
             "unused-allow",
             "malformed-allow",
         ],
@@ -327,7 +331,7 @@ fn list_rules_names_all_thirteen() {
 
 /// Golden test for the CI gate: a full workspace scan must match the
 /// committed snapshot byte-for-byte — today that is the clean document
-/// (schema 3, all rules, zero findings). A drift here means either a new
+/// (schema 4, all rules, zero findings). A drift here means either a new
 /// finding slipped in or the schema changed without regenerating
 /// `tests/golden/workspace_report.json`.
 #[test]
@@ -345,6 +349,161 @@ fn workspace_json_matches_golden_snapshot() {
          if intentional, regenerate with:\n  \
          cargo run -q -p uavdc-lint -- --json > crates/lint/tests/golden/workspace_report.json"
     );
+}
+
+#[test]
+fn par_purity_fixture_fails_with_witness_path() {
+    let out = expect_rule("par_purity.rs_fixture", "par-purity");
+    assert!(
+        out.contains("writes captured `acc`"),
+        "capture write flagged:\n{out}"
+    );
+    assert!(
+        out.contains("calls `stamp`") && out.contains("via stamp -> noisy"),
+        "effectful closure flagged with witness path:\n{out}"
+    );
+    assert_eq!(out.matches(": par-purity:").count(), 2, "stdout:\n{out}");
+}
+
+#[test]
+fn lock_across_spawn_fixture_fails_all_three_ways() {
+    let out = expect_rule("lock_across_spawn.rs_fixture", "lock-across-spawn");
+    assert!(
+        out.contains("still live across the spawn"),
+        "guard-across-spawn flagged:\n{out}"
+    );
+    assert!(
+        out.contains("re-locks") && out.contains("via audit -> locked"),
+        "re-entrant lock flagged with witness path:\n{out}"
+    );
+    assert_eq!(
+        out.matches("lock-order cycle").count(),
+        2,
+        "both halves of the inverted lock order flagged:\n{out}"
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture_fails_with_witness_path() {
+    let out = expect_rule("atomic_ordering.rs_fixture", "atomic-ordering");
+    assert!(
+        out.contains("via plan_entry -> pick"),
+        "witness call path printed:\n{out}"
+    );
+    assert!(
+        out.contains("Ordering::Relaxed") && out.contains("atomic_ordering.rs_fixture:11"),
+        "source site named with file:line:\n{out}"
+    );
+    // The pragma-justified timing counter in `tick` stays quiet.
+    assert_eq!(
+        out.matches(": atomic-ordering:").count(),
+        1,
+        "stdout:\n{out}"
+    );
+}
+
+#[test]
+fn shared_accumulator_fixture_fails_both_patterns() {
+    let out = expect_rule("shared_accumulator.rs_fixture", "shared-accumulator");
+    assert!(
+        out.contains("`fetch_add` on a shared atomic"),
+        "atomic accumulation flagged:\n{out}"
+    );
+    assert!(
+        out.contains("`lock().push`"),
+        "mutex-vec accumulation flagged:\n{out}"
+    );
+    assert_eq!(
+        out.matches(": shared-accumulator:").count(),
+        2,
+        "stdout:\n{out}"
+    );
+}
+
+#[test]
+fn graph_dump_annotates_spawn_edges() {
+    let path = fixture("lock_across_spawn.rs_fixture");
+    let (code, stdout) = run_lint(&["--graph", path.to_str().unwrap()]);
+    assert_eq!(code, 0, "--graph is a dump, not a lint:\n{stdout}");
+    assert!(
+        stdout.contains("spawns=[l24]"),
+        "spawn site listed on the spawning fn:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("spawn-> [") && stdout.contains("consume@l24"),
+        "closure-local call edge inside the spawn body annotated:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("locks=1+0"),
+        "lock inventory rendered:\n{stdout}"
+    );
+}
+
+/// Golden test for the SARIF output mode: byte-for-byte against the
+/// committed snapshot so the code-scanning upload format cannot drift
+/// silently.
+#[test]
+fn sarif_report_matches_golden_snapshot() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.sarif");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden sarif");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let out = Command::new(env!("CARGO_BIN_EXE_uavdc-lint"))
+        .current_dir(&dir)
+        .args([
+            "--sarif",
+            "atomic_ordering.rs_fixture",
+            "shared_accumulator.rs_fixture",
+        ])
+        .output()
+        .expect("spawn uavdc-lint");
+    assert_eq!(out.status.code(), Some(1), "findings still drive exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.as_ref(),
+        golden,
+        "SARIF report drifted from tests/golden/report.sarif; if the change \
+         is intentional, regenerate the snapshot with:\n  \
+         cd crates/lint/tests/fixtures && cargo run -q -p uavdc-lint -- \
+         --sarif atomic_ordering.rs_fixture shared_accumulator.rs_fixture \
+         2>/dev/null > ../golden/report.sarif"
+    );
+    assert!(
+        stdout.contains("\"version\":\"2.1.0\"")
+            && stdout.contains("\"ruleId\":\"atomic-ordering\""),
+        "SARIF envelope sane:\n{stdout}"
+    );
+}
+
+#[test]
+fn fix_unused_check_mode_fails_on_stale_pragmas() {
+    // CI gate: `--fix-unused --check` exits 1 while stale pragmas exist
+    // (with an actionable message), 0 once they are gone. The plain
+    // dry-run keeps exiting 0 either way.
+    let copy = scratch_copy("unused_pragma_check.rs_fixture.tmp");
+    std::fs::copy(fixture("unused_pragma.rs_fixture"), &copy).expect("copy");
+    let out = Command::new(env!("CARGO_BIN_EXE_uavdc-lint"))
+        .args(["--fix-unused", "--check", copy.to_str().unwrap()])
+        .output()
+        .expect("spawn uavdc-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale pragmas must fail --check"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--fix-unused --write"),
+        "actionable message names the fix command:\n{stderr}"
+    );
+    let before = std::fs::read_to_string(&copy).unwrap();
+    let (_, _) = run_lint(&["--fix-unused", "--write", copy.to_str().unwrap()]);
+    let after = std::fs::read_to_string(&copy).unwrap();
+    assert_ne!(before, after, "--write removed the stale pragmas");
+    let out = Command::new(env!("CARGO_BIN_EXE_uavdc-lint"))
+        .args(["--fix-unused", "--check", copy.to_str().unwrap()])
+        .output()
+        .expect("spawn uavdc-lint");
+    assert_eq!(out.status.code(), Some(0), "clean file passes --check");
 }
 
 #[test]

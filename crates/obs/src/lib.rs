@@ -484,6 +484,14 @@ impl CollectingRecorder {
     /// Locks the state, recovering from poisoning: a panicked worker
     /// leaves counters in a consistent (if partial) state, and the
     /// recorder must never turn an observation into a second panic.
+    ///
+    /// Reentrancy invariant (audited, enforced by uavdc-lint's
+    /// `lock-across-spawn` rule): no caller may invoke another
+    /// `locked()`-taking method while holding this guard — the Mutex is
+    /// not reentrant, so a nested acquisition on the same thread
+    /// deadlocks. Every caller (`report`, `span_start`, `span_end`,
+    /// `add`, `observe`) only touches plain `Inner` data under the
+    /// guard; clock reads happen *before* locking for the same reason.
     fn locked(&self) -> MutexGuard<'_, Inner> {
         match self.inner.lock() {
             Ok(g) => g,
@@ -722,6 +730,31 @@ mod tests {
         assert_eq!(rep.spans.len(), 1);
         assert_eq!(rep.spans[0].total_ns, 10);
         assert_eq!(rep.spans[0].calls, 1);
+    }
+
+    #[test]
+    fn recorder_methods_never_nest_the_state_lock() {
+        // Regression guard for the double-lock hazard class: every
+        // `locked()`-taking method is exercised back-to-back and while
+        // spans are still open. If any of them ever grows a nested call
+        // into another `locked()`-taking method, the non-reentrant
+        // Mutex deadlocks right here and the test hangs instead of
+        // passing.
+        let r = CollectingRecorder::new();
+        let root = r.span_start("plan", SpanId::NONE);
+        r.add("visited", 1);
+        r.observe("tour_len", 42);
+        let child = r.span_start("greedy", root);
+        // Reporting with spans still active takes the same lock the
+        // open spans' bookkeeping lives under.
+        let mid = r.report();
+        assert_eq!(mid.counter("visited"), 1);
+        r.span_end(child);
+        r.span_end(root);
+        let rep = r.report();
+        assert_eq!(rep.spans.len(), 2);
+        assert_eq!(rep.counter("visited"), 1);
+        assert_eq!(rep.histograms.len(), 1);
     }
 
     #[test]
