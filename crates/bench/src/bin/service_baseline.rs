@@ -1,0 +1,292 @@
+//! Throughput baseline for the batch planning service.
+//!
+//! Runs the standard request grid (seeds × the paper's battery sweep ×
+//! the engine-aware roster × both engines, replicated) through
+//! [`uavdc_bench::service::run_batch`] and writes `BENCH_service.json`:
+//! plans/sec and p50/p99 planner latency over the batch wall clock, the
+//! artifact-cache hit accounting, and one deterministic entry (counters
+//! plus plan hash) per unique request tuple. Replicas of the same tuple
+//! must produce bit-identical outcomes — the run aborts otherwise.
+//!
+//! ```text
+//! cargo run --release -p uavdc-bench --bin service_baseline             # full baseline
+//! cargo run --release -p uavdc-bench --bin service_baseline -- --quick  # CI smoke
+//! cargo run --release -p uavdc-bench --bin service_baseline -- --quick --check
+//! ```
+//!
+//! `--check` re-runs the batch cold (artifact reuse off) and again on a
+//! single thread, and exits non-zero unless both replays are
+//! bit-identical to the cached multi-threaded run — the CI tripwire for
+//! the cache-invisibility contract. `--out PATH` overrides the output
+//! path (default `BENCH_service.json` in the working directory).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+use uavdc_bench::service::{run_batch, standard_grid, BatchReport, PlanRequest, ServiceConfig};
+use uavdc_core::EngineMode;
+
+fn engine_label(e: EngineMode) -> &'static str {
+    match e {
+        EngineMode::Lazy => "lazy",
+        EngineMode::Exhaustive => "exhaustive",
+    }
+}
+
+/// Deduplication key of a request tuple: every request with the same key
+/// must produce the same outcome, whatever the cache or thread count did.
+fn request_key(r: &PlanRequest) -> (u64, u64, &'static str, &'static str) {
+    (
+        r.seed,
+        r.capacity.0.to_bits(),
+        r.algorithm.label(),
+        engine_label(r.engine),
+    )
+}
+
+/// One unique request tuple with its (replica-checked) outcome.
+struct Entry {
+    seed: u64,
+    capacity_j: f64,
+    algorithm: &'static str,
+    engine: &'static str,
+    candidates: usize,
+    iterations: u64,
+    evaluations: u64,
+    plan_hash: u64,
+}
+
+/// Collapses per-request outcomes to one entry per unique tuple,
+/// aborting if any replica diverged (the service's determinism promise).
+fn dedupe(requests: &[PlanRequest], report: &BatchReport) -> Vec<Entry> {
+    let mut seen: BTreeMap<(u64, u64, &str, &str), usize> = BTreeMap::new();
+    let mut entries = Vec::new();
+    for (req, outcome) in requests.iter().zip(&report.outcomes) {
+        let key = request_key(req);
+        match seen.get(&key) {
+            Some(&idx) => {
+                let first: &Entry = &entries[idx];
+                if first.plan_hash != outcome.plan_hash
+                    || first.evaluations != outcome.evaluations
+                    || first.iterations != outcome.iterations
+                    || first.candidates != outcome.candidates
+                {
+                    eprintln!(
+                        "REPLICA DIVERGED: seed {} capacity {} {} {}",
+                        req.seed,
+                        req.capacity.0,
+                        req.algorithm.label(),
+                        engine_label(req.engine)
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                seen.insert(key, entries.len());
+                entries.push(Entry {
+                    seed: req.seed,
+                    capacity_j: req.capacity.0,
+                    algorithm: req.algorithm.label(),
+                    engine: engine_label(req.engine),
+                    candidates: outcome.candidates,
+                    iterations: outcome.iterations,
+                    evaluations: outcome.evaluations,
+                    plan_hash: outcome.plan_hash,
+                });
+            }
+        }
+    }
+    entries
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(
+    entries: &[Entry],
+    report: &BatchReport,
+    mode: &str,
+    scale: f64,
+    seeds: &[u64],
+    repeat: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"uavdc-service-baseline/1\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(
+        out,
+        "  \"seeds\": [{}],",
+        seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  \"repeat\": {repeat},");
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    out.push_str("  \"throughput\": {\n");
+    let _ = writeln!(out, "    \"requests\": {},", report.outcomes.len());
+    let _ = writeln!(out, "    \"wall_ns\": {},", report.wall_ns);
+    let _ = writeln!(
+        out,
+        "    \"plans_per_sec\": {},",
+        json_f64(report.plans_per_sec)
+    );
+    let _ = writeln!(out, "    \"p50_latency_ns\": {},", report.p50_latency_ns);
+    let _ = writeln!(out, "    \"p99_latency_ns\": {}", report.p99_latency_ns);
+    out.push_str("  },\n");
+    out.push_str("  \"cache\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"unique_instances\": {},",
+        report.unique_instances
+    );
+    let _ = writeln!(out, "    \"artifacts_built\": {},", report.cache_misses);
+    let _ = writeln!(out, "    \"requests_shared\": {}", report.cache_hits);
+    out.push_str("  },\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"figure\": \"service\", \"capacity_j\": {}, \"algorithm\": \"{}\", \
+             \"seed\": {}, \"engine\": \"{}\", \"candidates\": {}, \"iterations\": {}, \
+             \"evaluations\": {}, \"plan_hash\": \"{:016x}\"}}{}",
+            e.capacity_j,
+            e.algorithm,
+            e.seed,
+            e.engine,
+            e.candidates,
+            e.iterations,
+            e.evaluations,
+            e.plan_hash,
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Compares two batch runs on their deterministic outcome fields; prints
+/// and counts divergences.
+fn diff_runs(label: &str, requests: &[PlanRequest], a: &BatchReport, b: &BatchReport) -> usize {
+    let mut bad = 0;
+    for ((req, x), y) in requests.iter().zip(&a.outcomes).zip(&b.outcomes) {
+        if x.plan_hash != y.plan_hash
+            || x.evaluations != y.evaluations
+            || x.iterations != y.iterations
+            || x.candidates != y.candidates
+        {
+            bad += 1;
+            if bad <= 10 {
+                eprintln!(
+                    "{label} DIVERGED: seed {} capacity {} {} {}",
+                    req.seed,
+                    req.capacity.0,
+                    req.algorithm.label(),
+                    engine_label(req.engine)
+                );
+            }
+        }
+    }
+    bad
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let mut out_path = "BENCH_service.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--check" => {}
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            bad => {
+                eprintln!("unknown argument: {bad}");
+                eprintln!("usage: service_baseline [--quick] [--check] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (mode, scale, seeds, repeat): (&str, f64, Vec<u64>, usize) = if quick {
+        ("quick", 0.2, vec![0x9a9e, 0x9a9f], 2)
+    } else {
+        ("full", 0.4, vec![0x9a9e, 0x9a9f, 0x9aa0], 10)
+    };
+    let requests = standard_grid(&seeds, repeat);
+    let cfg = ServiceConfig {
+        scale,
+        threads: 0,
+        reuse_artifacts: true,
+    };
+
+    let started = Instant::now();
+    let report = run_batch(&cfg, &requests);
+    eprintln!(
+        "service_baseline: {} requests in {:.2}s on {} threads (mode {mode}, scale {scale}): \
+         {:.1} plans/sec, p50 {:.2} ms, p99 {:.2} ms, {} artifacts built, {} requests shared",
+        requests.len(),
+        started.elapsed().as_secs_f64(),
+        report.threads,
+        report.plans_per_sec,
+        report.p50_latency_ns as f64 / 1e6,
+        report.p99_latency_ns as f64 / 1e6,
+        report.cache_misses,
+        report.cache_hits
+    );
+
+    let entries = dedupe(&requests, &report);
+    let json = render_json(&entries, &report, mode, scale, &seeds, repeat);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path} ({} unique entries)", entries.len());
+
+    // Console digest: per-algorithm evaluation totals across the grid.
+    let mut algs: Vec<&str> = entries.iter().map(|e| e.algorithm).collect();
+    algs.sort_unstable();
+    algs.dedup();
+    for alg in algs {
+        let (evals, iters, n) = entries
+            .iter()
+            .filter(|e| e.algorithm == alg)
+            .fold((0u64, 0u64, 0usize), |(ev, it, n), e| {
+                (ev + e.evaluations, it + e.iterations, n + 1)
+            });
+        eprintln!("  {alg:<18} {n:>3} tuples  evaluations {evals:>9}  iterations {iters:>6}");
+    }
+
+    if check {
+        let cold = run_batch(
+            &ServiceConfig {
+                reuse_artifacts: false,
+                ..cfg
+            },
+            &requests,
+        );
+        let single = run_batch(&ServiceConfig { threads: 1, ..cfg }, &requests);
+        let bad = diff_runs("cold", &requests, &report, &cold)
+            + diff_runs("single-thread", &requests, &report, &single);
+        if bad > 0 {
+            eprintln!("check FAILED: {bad} outcomes diverged across replays");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: cold and single-thread replays bit-identical across {} requests",
+            requests.len()
+        );
+    }
+}

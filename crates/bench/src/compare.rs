@@ -1,17 +1,24 @@
-//! Noise-aware comparison of two `planner_baseline` JSON artefacts.
+//! Noise-aware comparison of two baseline JSON artefacts
+//! (`planner_baseline`, `robustness_baseline`, `service_baseline`).
 //!
 //! The baseline file mixes two kinds of numbers. *Deterministic* fields —
 //! candidate counts, iteration counts, every evaluation counter, plan
-//! hashes, the lazy/exhaustive identity bit — are products of the
-//! workspace's determinism discipline: any difference is a behaviour
-//! change and fails the comparison outright. *Timing* fields (`setup_ns`,
-//! `loop_ns`) are machine noise up to a point, so they are gated by a
-//! relative tolerance combined with a minimum absolute delta (tiny phases
-//! jitter by large ratios without meaning anything).
+//! hashes, the lazy/exhaustive identity bit, the service's cache
+//! accounting — are products of the workspace's determinism discipline:
+//! any difference is a behaviour change and fails the comparison
+//! outright. *Timing* fields (`setup_ns`, `loop_ns`, the service's
+//! latency percentiles and plans/sec) are machine noise up to a point, so
+//! they are gated by a relative tolerance combined with a minimum
+//! absolute delta (tiny phases jitter by large ratios without meaning
+//! anything); throughput rates gate in the opposite direction (lower is
+//! the regression).
 //!
-//! [`compare`] pairs entries by (figure, x value, algorithm, seed) and
-//! returns a [`CompareReport`]; [`CompareReport::markdown`] renders the
-//! diff table CI posts to the job summary.
+//! [`compare`] pairs entries by (figure, x value, algorithm, seed[,
+//! fault level][, engine]) and returns a [`CompareReport`];
+//! [`CompareReport::markdown`] renders the diff table CI posts to the
+//! job summary. Entries present on only one side and duplicate entry
+//! keys within one side are structural failures — nothing is silently
+//! skipped.
 
 use crate::json::Json;
 use std::fmt::Write as _;
@@ -170,6 +177,10 @@ fn entry_key(e: &Json, x_label: &str) -> String {
     if let Some(level) = e.get("fault_level") {
         let _ = write!(key, " level={}", render(Some(level)));
     }
+    // Service entries run each tuple under both engines.
+    if let Some(engine) = e.get("engine") {
+        let _ = write!(key, " engine={}", render(Some(engine)));
+    }
     key
 }
 
@@ -253,6 +264,36 @@ fn compare_timing(
     }
 }
 
+/// Gates a throughput rate (plans/sec): *lower* is the regression, so
+/// the tolerance applies to the relative drop below baseline. Rates have
+/// no meaningful absolute floor, so only `rel_tol` applies.
+fn compare_rate(
+    rows: &mut Vec<Row>,
+    cfg: &CompareConfig,
+    key: &str,
+    field: &str,
+    a: Option<&Json>,
+    b: Option<&Json>,
+) {
+    let (Some(base), Some(cur)) = (a.and_then(Json::as_f64), b.and_then(Json::as_f64)) else {
+        push_if_diff(rows, key, field, a, b); // malformed rates: hard diff
+        return;
+    };
+    if cur >= base || base <= 0.0 {
+        return; // faster is never a regression
+    }
+    let rel = (base - cur) / base;
+    if rel > cfg.rel_tol {
+        rows.push(Row {
+            key: key.to_string(),
+            field: field.to_string(),
+            baseline: format!("{base:.1}/s"),
+            current: format!("{cur:.1}/s (-{:.0}%)", rel * 100.0),
+            verdict: Verdict::TimingRegression,
+        });
+    }
+}
+
 /// Compares two parsed baseline documents.
 ///
 /// Returns `Err` only when a document is too malformed to walk (missing
@@ -283,6 +324,55 @@ pub fn compare(
         ));
     }
 
+    // The service baseline carries batch-wide results in its header:
+    // cache accounting is deterministic (hard diff), throughput is
+    // timing (gated with the regression direction inverted for the
+    // rate).
+    let schema = baseline.get("schema").and_then(Json::as_str).unwrap_or("");
+    let service = schema.starts_with("uavdc-service-baseline/");
+    if baseline.get("repeat") != current.get("repeat") {
+        report.structural.push(format!(
+            "header `repeat` differs: baseline {} vs current {}",
+            render(baseline.get("repeat")),
+            render(current.get("repeat"))
+        ));
+    }
+    if service {
+        diff_exact(
+            &mut report.rows,
+            "batch",
+            "cache",
+            baseline.get("cache"),
+            current.get("cache"),
+        );
+        let (bt, ct) = (baseline.get("throughput"), current.get("throughput"));
+        push_if_diff(
+            &mut report.rows,
+            "batch",
+            "throughput.requests",
+            bt.and_then(|t| t.get("requests")),
+            ct.and_then(|t| t.get("requests")),
+        );
+        compare_rate(
+            &mut report.rows,
+            cfg,
+            "batch",
+            "throughput.plans_per_sec",
+            bt.and_then(|t| t.get("plans_per_sec")),
+            ct.and_then(|t| t.get("plans_per_sec")),
+        );
+        for timing in ["wall_ns", "p50_latency_ns", "p99_latency_ns"] {
+            compare_timing(
+                &mut report.rows,
+                cfg,
+                "batch",
+                &format!("throughput.{timing}"),
+                bt.and_then(|t| t.get(timing)),
+                ct.and_then(|t| t.get(timing)),
+            );
+        }
+    }
+
     let base_entries = baseline
         .get("entries")
         .and_then(Json::as_array)
@@ -292,27 +382,39 @@ pub fn compare(
         .and_then(Json::as_array)
         .ok_or_else(|| "current has no `entries` array".to_string())?;
 
-    // Pair by key. Keys are unique per file by construction; a BTreeMap
-    // keeps the unpaired-entry report deterministic.
+    // Pair by key. Keys must be unique per file — a duplicate would
+    // silently shadow its twin in the map, so it is reported as a
+    // structural failure instead. The BTreeMap keeps the unpaired-entry
+    // report deterministic.
     let mut cur_by_key = std::collections::BTreeMap::new();
     for e in cur_entries {
-        cur_by_key.insert(entry_key(e, x_label(e)), e);
+        let key = entry_key(e, x_label(e));
+        if cur_by_key.insert(key.clone(), e).is_some() {
+            report
+                .structural
+                .push(format!("duplicate entry key in current: {key}"));
+        }
     }
 
-    // Robustness artefacts carry no timings: every entry field is
-    // deterministic, so they are diffed exactly, whatever their shape.
-    let all_deterministic = baseline
-        .get("schema")
-        .and_then(Json::as_str)
-        .is_some_and(|s| s.starts_with("uavdc-robustness/"));
+    // Robustness and service artefacts carry no per-entry timings: every
+    // entry field is deterministic, so they are diffed exactly, whatever
+    // their shape.
+    let all_deterministic = schema.starts_with("uavdc-robustness/") || service;
 
+    let mut base_seen = std::collections::BTreeSet::new();
     for base in base_entries {
         let xl = x_label(base);
         let key = entry_key(base, xl);
-        let Some(cur) = cur_by_key.remove(&key) else {
+        if !base_seen.insert(key.clone()) {
             report
                 .structural
-                .push(format!("entry missing from current: {key}"));
+                .push(format!("duplicate entry key in baseline: {key}"));
+            continue;
+        }
+        let Some(cur) = cur_by_key.remove(&key) else {
+            report.structural.push(format!(
+                "entry removed (baseline only, missing from current): {key}"
+            ));
             continue;
         };
         report.paired_entries += 1;
@@ -369,9 +471,9 @@ pub fn compare(
         }
     }
     for key in cur_by_key.keys() {
-        report
-            .structural
-            .push(format!("entry missing from baseline: {key}"));
+        report.structural.push(format!(
+            "entry added (current only, missing from baseline): {key}"
+        ));
     }
     Ok(report)
 }
@@ -517,6 +619,132 @@ mod tests {
         assert!(!r.has_divergence());
         // Both fault levels of the sweep point pair separately.
         assert_eq!(r.paired_entries, 2);
+    }
+
+    #[test]
+    fn duplicate_entry_keys_are_structural_not_silent() {
+        let a = doc(8_000_000, 120, "aa");
+        let mut b = doc(8_000_000, 120, "aa");
+        if let Json::Obj(map) = &mut b {
+            if let Some(Json::Arr(entries)) = map.get_mut("entries") {
+                let twin = entries[0].clone();
+                entries.push(twin);
+            }
+        }
+        // current has the same key twice: must fail, both directions.
+        let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(r
+            .structural
+            .iter()
+            .any(|s| s.contains("duplicate entry key in current")));
+        let r = compare(&b, &a, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(r
+            .structural
+            .iter()
+            .any(|s| s.contains("duplicate entry key in baseline")));
+    }
+
+    #[test]
+    fn entry_only_in_current_fails_hard() {
+        let mut a = doc(8_000_000, 120, "aa");
+        let b = doc(8_000_000, 120, "aa");
+        if let Json::Obj(map) = &mut a {
+            map.insert("entries".to_string(), Json::Arr(Vec::new()));
+        }
+        let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(r
+            .structural
+            .iter()
+            .any(|s| s.contains("entry added (current only")));
+    }
+
+    fn service_doc(plans_per_sec: f64, evals: u64, hash: &str) -> Json {
+        parse(&format!(
+            r#"{{"schema": "uavdc-service-baseline/1", "mode": "quick", "scale": 0.2,
+                "seeds": [39582], "repeat": 2, "threads": 2,
+                "throughput": {{"requests": 4, "wall_ns": 50000000,
+                    "plans_per_sec": {plans_per_sec},
+                    "p50_latency_ns": 2000000, "p99_latency_ns": 8000000}},
+                "cache": {{"unique_instances": 1, "artifacts_built": 2,
+                    "requests_shared": 2}},
+                "entries": [
+                  {{"figure": "service", "capacity_j": 300000,
+                    "algorithm": "Algorithm 2", "seed": 39582, "engine": "lazy",
+                    "candidates": 100, "iterations": 10, "evaluations": {evals},
+                    "plan_hash": "{hash}"}},
+                  {{"figure": "service", "capacity_j": 300000,
+                    "algorithm": "Algorithm 2", "seed": 39582,
+                    "engine": "exhaustive", "candidates": 100, "iterations": 10,
+                    "evaluations": 1000, "plan_hash": "{hash}"}}
+                ]}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn service_identical_documents_are_clean() {
+        let a = service_doc(80.0, 120, "aa");
+        let r = compare(&a, &a, &CompareConfig::default()).expect("walkable");
+        assert!(!r.has_divergence());
+        assert!(!r.has_timing_regression());
+        // The two engines of the tuple pair as distinct entries.
+        assert_eq!(r.paired_entries, 2);
+    }
+
+    #[test]
+    fn service_counter_or_hash_drift_diverges() {
+        let a = service_doc(80.0, 120, "aa");
+        let b = service_doc(80.0, 121, "aa");
+        let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row.field == "evaluations" && row.key.contains("engine=lazy")));
+        let c = service_doc(80.0, 120, "bb");
+        let r = compare(&a, &c, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(r.rows.iter().any(|row| row.field == "plan_hash"));
+    }
+
+    #[test]
+    fn service_cache_accounting_is_deterministic() {
+        let a = service_doc(80.0, 120, "aa");
+        let mut b = service_doc(80.0, 120, "aa");
+        if let Json::Obj(map) = &mut b {
+            if let Some(Json::Obj(cache)) = map.get_mut("cache") {
+                cache.insert("requests_shared".to_string(), Json::Num(7.0));
+            }
+        }
+        let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
+        assert!(r.has_divergence());
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row.field == "cache.requests_shared"));
+    }
+
+    #[test]
+    fn service_throughput_drop_is_timing_not_divergence() {
+        let a = service_doc(80.0, 120, "aa");
+        let b = service_doc(20.0, 120, "aa"); // -75%, beyond 50% rel_tol
+        let r = compare(&a, &b, &CompareConfig::default()).expect("walkable");
+        assert!(!r.has_divergence());
+        assert!(r.has_timing_regression());
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row.field == "throughput.plans_per_sec"));
+        // Mild jitter passes; getting faster always passes.
+        let c = service_doc(60.0, 120, "aa"); // -25% < 50%
+        let r = compare(&a, &c, &CompareConfig::default()).expect("walkable");
+        assert!(!r.has_timing_regression());
+        let d = service_doc(200.0, 120, "aa");
+        let r = compare(&a, &d, &CompareConfig::default()).expect("walkable");
+        assert!(!r.has_timing_regression());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod compare;
 pub mod json;
+pub mod service;
 
 use std::time::Instant;
 use uavdc_core::{

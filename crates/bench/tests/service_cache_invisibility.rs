@@ -1,0 +1,116 @@
+//! Property tests of the batch planning service
+//! (`uavdc_bench::service`): the artifact cache must be *invisible* to
+//! plan output. For random request batches across planners × engines ×
+//! thread counts, a cached run and a cold run (and runs at different
+//! thread counts) must produce bit-identical `CollectionPlan`
+//! fingerprints and identical deterministic counters for every request,
+//! and the cache hit/miss accounting must be a pure function of the
+//! batch (thread-count-invariant).
+
+use proptest::prelude::*;
+use uavdc_bench::service::{run_batch, BatchReport, PlanRequest, ServiceAlgorithm, ServiceConfig};
+use uavdc_core::EngineMode;
+use uavdc_net::units::Joules;
+
+/// The deterministic projection of a batch: everything except timings.
+fn deterministic(r: &BatchReport) -> Vec<(u64, usize, u64, u64)> {
+    r.outcomes
+        .iter()
+        .map(|o| (o.plan_hash, o.candidates, o.iterations, o.evaluations))
+        .collect()
+}
+
+/// Decodes a compact request tuple drawn by proptest into a
+/// [`PlanRequest`]. Seeds and capacities are drawn from small pools so
+/// batches actually collide on instances and artifacts (the interesting
+/// regime for the cache).
+fn decode(seed_ix: u8, cap_ix: u8, alg_ix: u8, engine_ix: u8) -> PlanRequest {
+    let seeds = [3u64, 7, 11];
+    let caps = [2.0e5, 3.0e5, 4.5e5, 6.0e5];
+    let algorithms = [
+        ServiceAlgorithm::Alg2 { delta: 20.0 },
+        ServiceAlgorithm::Alg2 { delta: 25.0 },
+        ServiceAlgorithm::Alg3 { delta: 20.0, k: 2 },
+        ServiceAlgorithm::Alg3 { delta: 20.0, k: 4 },
+        ServiceAlgorithm::Benchmark,
+    ];
+    let engines = [EngineMode::Lazy, EngineMode::Exhaustive];
+    PlanRequest {
+        seed: seeds[seed_ix as usize % seeds.len()],
+        capacity: Joules(caps[cap_ix as usize % caps.len()]),
+        algorithm: algorithms[alg_ix as usize % algorithms.len()],
+        engine: engines[engine_ix as usize % engines.len()],
+    }
+}
+
+fn cfg(scale: f64, threads: usize, reuse: bool) -> ServiceConfig {
+    ServiceConfig {
+        scale,
+        threads,
+        reuse_artifacts: reuse,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline invisibility property: cached ≡ cold, bit for bit,
+    /// for every request in a random batch, at whatever thread count.
+    #[test]
+    fn cached_run_is_bit_identical_to_cold_run(
+        tuples in proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..24),
+        warm_threads in 1usize..5,
+        cold_threads in 1usize..5,
+    ) {
+        let requests: Vec<PlanRequest> =
+            tuples.iter().map(|&(s, c, a, e)| decode(s, c, a, e)).collect();
+        let warm = run_batch(&cfg(0.05, warm_threads, true), &requests);
+        let cold = run_batch(&cfg(0.05, cold_threads, false), &requests);
+        prop_assert_eq!(warm.outcomes.len(), requests.len());
+        prop_assert_eq!(deterministic(&warm), deterministic(&cold));
+        // Cold mode never consults the cache.
+        prop_assert_eq!(cold.cache_hits, 0);
+        prop_assert_eq!(cold.cache_misses, 0);
+    }
+
+    /// Thread-count invariance of a cached batch, including the cache
+    /// accounting (hits and misses count request/artifact structure, not
+    /// scheduling).
+    #[test]
+    fn thread_count_is_invisible_to_cached_batches(
+        tuples in proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..24),
+        threads_a in 1usize..5,
+        threads_b in 1usize..5,
+    ) {
+        let requests: Vec<PlanRequest> =
+            tuples.iter().map(|&(s, c, a, e)| decode(s, c, a, e)).collect();
+        let a = run_batch(&cfg(0.05, threads_a, true), &requests);
+        let b = run_batch(&cfg(0.05, threads_b, true), &requests);
+        prop_assert_eq!(deterministic(&a), deterministic(&b));
+        prop_assert_eq!(a.cache_hits, b.cache_hits);
+        prop_assert_eq!(a.cache_misses, b.cache_misses);
+        prop_assert_eq!(a.unique_instances, b.unique_instances);
+        prop_assert_eq!(
+            a.report.counter("service.cache_hits"),
+            b.report.counter("service.cache_hits")
+        );
+    }
+
+    /// Replicated requests (the same tuple appearing many times in one
+    /// batch) all resolve to the same outcome — a client cannot tell
+    /// whether its plan came from the first build or a shared artifact.
+    #[test]
+    fn replicas_within_a_batch_agree(
+        s in 0u8..=255, c in 0u8..=255, a in 0u8..=255, e in 0u8..=255,
+        copies in 2usize..8,
+        threads in 1usize..5,
+    ) {
+        let requests: Vec<PlanRequest> = (0..copies).map(|_| decode(s, c, a, e)).collect();
+        let batch = run_batch(&cfg(0.05, threads, true), &requests);
+        let det = deterministic(&batch);
+        prop_assert!(det.windows(2).all(|w| w[0] == w[1]));
+        // One artifact built, every other request shares it.
+        prop_assert_eq!(batch.cache_misses, 1);
+        prop_assert_eq!(batch.cache_hits, copies as u64 - 1);
+    }
+}

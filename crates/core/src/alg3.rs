@@ -606,15 +606,52 @@ impl Alg3Planner {
         scenario: &Scenario,
         rec: &dyn Recorder,
     ) -> (CollectionPlan, PlanStats) {
+        self.plan_prepared_obs(scenario, None, rec)
+    }
+
+    /// Recorder-free twin of
+    /// [`plan_prepared_obs`](Alg3Planner::plan_prepared_obs).
+    pub fn plan_prepared(
+        &self,
+        scenario: &Scenario,
+        prepared: Option<&CandidateSet>,
+    ) -> (CollectionPlan, PlanStats) {
+        self.plan_prepared_obs(scenario, prepared, &uavdc_obs::NOOP)
+    }
+
+    /// Like [`plan_with_stats_obs`](Alg3Planner::plan_with_stats_obs),
+    /// optionally reusing a prebuilt candidate set instead of rebuilding
+    /// it. `prepared` must be exactly what the cold path would build —
+    /// `CandidateSet::build(scenario, config.delta)` followed by
+    /// `prune_dominated()` when `config.prune_dominated` is set (the
+    /// keying contract of `uavdc-bench`'s artifact cache). Cold and
+    /// prepared runs share every instruction after setup, so plans and
+    /// counters are bit-identical (property-tested in
+    /// `uavdc-bench/tests/service_cache_invisibility.rs`); only
+    /// `setup_ns` shrinks.
+    pub fn plan_prepared_obs(
+        &self,
+        scenario: &Scenario,
+        prepared: Option<&CandidateSet>,
+        rec: &dyn Recorder,
+    ) -> (CollectionPlan, PlanStats) {
         assert!(self.config.k >= 1, "K must be at least 1");
         let root = Span::root(rec, "alg3");
         // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let setup_start = std::time::Instant::now();
         let setup_span = root.child("setup");
-        let mut candidates = CandidateSet::build(scenario, self.config.delta);
-        if self.config.prune_dominated {
-            candidates.prune_dominated();
-        }
+        let built;
+        let candidates = match prepared {
+            Some(c) => c,
+            None => {
+                let mut c = CandidateSet::build(scenario, self.config.delta);
+                if self.config.prune_dominated {
+                    c.prune_dominated();
+                }
+                built = c;
+                &built
+            }
+        };
         let mut stats = PlanStats {
             engine: self.config.engine,
             counters: EvalCounters {
@@ -629,7 +666,7 @@ impl Alg3Planner {
             stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
             return (CollectionPlan::empty(), stats);
         }
-        let mut state = PartialState::new(scenario, &candidates);
+        let mut state = PartialState::new(scenario, candidates);
         // Each commit either exhausts at least one virtual step of one
         // candidate or collects real data; the cap is a safety net for
         // degenerate float behaviour.

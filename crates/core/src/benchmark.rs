@@ -29,6 +29,75 @@ use uavdc_obs::{Recorder, Span};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BenchmarkPlanner;
 
+/// The benchmark pruner's capacity-independent setup artifact: per-device
+/// coverage lists plus the initial Christofides tour over depot + all
+/// devices. Depends only on the scenario *layout* (positions, coverage
+/// radius), never on the battery, so capacity sweeps over one instance
+/// can share it through `uavdc-bench`'s artifact cache (keyed by
+/// `Scenario::layout_fingerprint`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkSetup {
+    /// Devices within `R0` of each device's position (by device index).
+    coverage: Vec<Vec<u32>>,
+    /// Initial tour positions in Christofides order; index 0 is the depot.
+    pts: Vec<Point2>,
+    /// Device hovered above per tour index (`usize::MAX` for the depot).
+    dev_of: Vec<usize>,
+}
+
+impl BenchmarkSetup {
+    /// Builds the artifact, reporting the Christofides sub-spans to
+    /// `rec`. Requires a non-empty scenario (the planner's empty-scenario
+    /// early return never consults the artifact).
+    pub fn build_obs(scenario: &Scenario, rec: &dyn Recorder) -> Self {
+        let n = scenario.num_devices();
+        let r0 = scenario.coverage_radius().value();
+
+        // Coverage lists per device position.
+        let positions = scenario.device_positions();
+        let index = SpatialGrid::build(&positions, r0.max(1.0));
+        let coverage: Vec<Vec<u32>> = positions
+            .iter()
+            .map(|&p| {
+                index
+                    .query_radius(p, r0)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect()
+            })
+            .collect();
+
+        // Initial Christofides tour over depot + all devices (polished
+        // once up front; the pruning loop then only removes nodes, so its
+        // per-iteration cost shrinks as the battery grows — the runtime
+        // shape the paper reports).
+        let mut pts: Vec<Point2> = Vec::with_capacity(n + 1);
+        pts.push(scenario.depot);
+        pts.extend(positions.iter().copied());
+        let order = christofides_order_obs(&pts, rec);
+        let pts = apply_order(&pts, &order);
+        let dev_of: Vec<usize> = order
+            .iter()
+            .map(|&i| if i == 0 { usize::MAX } else { i - 1 })
+            .collect();
+        BenchmarkSetup {
+            coverage,
+            pts,
+            dev_of,
+        }
+    }
+
+    /// Builds the artifact without instrumentation.
+    pub fn build(scenario: &Scenario) -> Self {
+        BenchmarkSetup::build_obs(scenario, &uavdc_obs::NOOP)
+    }
+
+    /// Number of stops on the initial tour (depot included).
+    pub fn tour_len(&self) -> usize {
+        self.pts.len()
+    }
+}
+
 /// Working state of the pruning loop.
 struct PruneState<'a> {
     scenario: &'a Scenario,
@@ -287,6 +356,37 @@ impl BenchmarkPlanner {
         engine: EngineMode,
         rec: &dyn Recorder,
     ) -> (CollectionPlan, PlanStats) {
+        self.plan_prepared_obs(scenario, engine, None, rec)
+    }
+
+    /// Recorder-free twin of
+    /// [`plan_prepared_obs`](BenchmarkPlanner::plan_prepared_obs).
+    pub fn plan_prepared(
+        &self,
+        scenario: &Scenario,
+        engine: EngineMode,
+        prepared: Option<&BenchmarkSetup>,
+    ) -> (CollectionPlan, PlanStats) {
+        self.plan_prepared_obs(scenario, engine, prepared, &uavdc_obs::NOOP)
+    }
+
+    /// Like [`plan_with_stats_obs`](BenchmarkPlanner::plan_with_stats_obs),
+    /// optionally reusing a prebuilt [`BenchmarkSetup`] instead of
+    /// rebuilding it. `prepared` must be exactly what
+    /// [`BenchmarkSetup::build_obs`] would produce for this scenario (the
+    /// keying contract of `uavdc-bench`'s artifact cache). The pruning
+    /// loop runs on a clone of the artifact either way, so cold and
+    /// prepared runs share every instruction after setup and produce
+    /// bit-identical plans and counters (property-tested in
+    /// `uavdc-bench/tests/service_cache_invisibility.rs`); only
+    /// `setup_ns` shrinks.
+    pub fn plan_prepared_obs(
+        &self,
+        scenario: &Scenario,
+        engine: EngineMode,
+        prepared: Option<&BenchmarkSetup>,
+        rec: &dyn Recorder,
+    ) -> (CollectionPlan, PlanStats) {
         let root = Span::root(rec, "bench");
         // lint:allow(effect-taint): wall-clock runtime stats only; never influence plan content
         let setup_start = std::time::Instant::now();
@@ -305,40 +405,19 @@ impl BenchmarkPlanner {
             return (CollectionPlan::empty(), stats);
         }
         let setup_span = root.child("setup");
-        let r0 = scenario.coverage_radius().value();
-
-        // Coverage lists per device position.
-        let positions = scenario.device_positions();
-        let index = SpatialGrid::build(&positions, r0.max(1.0));
-        let coverage: Vec<Vec<u32>> = positions
-            .iter()
-            .map(|&p| {
-                index
-                    .query_radius(p, r0)
-                    .into_iter()
-                    .map(|i| i as u32)
-                    .collect()
-            })
-            .collect();
-
-        // Initial Christofides tour over depot + all devices (polished
-        // once up front; the pruning loop then only removes nodes, so its
-        // per-iteration cost shrinks as the battery grows — the runtime
-        // shape the paper reports).
-        let mut pts: Vec<Point2> = Vec::with_capacity(n + 1);
-        pts.push(scenario.depot);
-        pts.extend(positions.iter().copied());
-        let order = christofides_order_obs(&pts, rec);
-        let pts = apply_order(&pts, &order);
-        let dev_of: Vec<usize> = order
-            .iter()
-            .map(|&i| if i == 0 { usize::MAX } else { i - 1 })
-            .collect();
+        let built;
+        let setup = match prepared {
+            Some(s) => s,
+            None => {
+                built = BenchmarkSetup::build_obs(scenario, rec);
+                &built
+            }
+        };
         let mut state = PruneState {
             scenario,
-            pts,
-            dev_of,
-            coverage,
+            pts: setup.pts.clone(),
+            dev_of: setup.dev_of.clone(),
+            coverage: setup.coverage.clone(),
         };
         stats.setup_ns = setup_start.elapsed().as_nanos() as u64;
         drop(setup_span);

@@ -42,6 +42,7 @@ mod alg2;
 mod alg3;
 mod auxgraph;
 mod benchmark;
+pub mod cache;
 mod candidates;
 pub mod greedy;
 mod multi;
@@ -56,7 +57,8 @@ pub use alg1::{Alg1Config, Alg1Planner, CandidateFilter};
 pub use alg2::{Alg2Config, Alg2Planner, TourMode};
 pub use alg3::{Alg3Config, Alg3Planner};
 pub use auxgraph::AuxGraph;
-pub use benchmark::BenchmarkPlanner;
+pub use benchmark::{BenchmarkPlanner, BenchmarkSetup};
+pub use cache::ArtifactCache;
 pub use candidates::{Candidate, CandidateSet};
 pub use greedy::{EngineMode, EvalCounters, PlanStats};
 pub use multi::{
