@@ -15,8 +15,11 @@
 //!
 //! `--check` exits non-zero when any lazy run diverged from its
 //! exhaustive twin or performed more evaluations than the exhaustive
-//! bound — the CI regression tripwire. `--out PATH` overrides the output
-//! path (default `BENCH_planner.json` in the working directory).
+//! bound — the CI regression tripwire. `--min-alg2-speedup X` addition-
+//! ally floors Algorithm 2's aggregate fig-4 δ = 5 m wall speedup (the
+//! incremental-tour perf gate; exits non-zero below `X`). `--out PATH`
+//! overrides the output path (default `BENCH_planner.json` in the
+//! working directory).
 //!
 //! Set `UAVDC_OBS=1` to attach a [`uavdc_obs`] collecting recorder to
 //! every lazy run and embed its `RunReport` (spans, counters, histograms)
@@ -223,13 +226,16 @@ fn stats_json(s: &PlanStats) -> String {
     format!(
         concat!(
             "{{\"evaluations\":{},\"marginal_evals\":{},\"delta_rescans\":{},",
-            "\"fixups\":{},\"heap_pops\":{},\"setup_ns\":{},\"loop_ns\":{}}}"
+            "\"fixups\":{},\"heap_pops\":{},\"tour_patches\":{},",
+            "\"full_retours\":{},\"setup_ns\":{},\"loop_ns\":{}}}"
         ),
         c.evaluations,
         c.marginal_evals,
         c.delta_rescans,
         c.fixups,
         c.heap_pops,
+        c.tour_patches,
+        c.full_retours,
         s.setup_ns,
         s.loop_ns
     )
@@ -241,6 +247,16 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// Aggregate fig-4 δ = 5 m wall speedup of one algorithm: the per-PR
+/// perf gate metric (`--min-alg2-speedup` floors Algorithm 2's).
+fn fig4_delta5_speedup(entries: &[Entry], algorithm: &str) -> f64 {
+    let (_, _, ln, en) = aggregate(entries.iter().filter(|e| {
+        // lint:allow(float-ord): sweep coordinates are exact literals carried through unmodified
+        e.figure == "fig4" && e.x == 5.0 && e.algorithm == algorithm
+    }));
+    en as f64 / ln.max(1) as f64
 }
 
 /// Aggregate over a filtered subset: (lazy evals, exhaustive evals,
@@ -259,7 +275,7 @@ fn aggregate<'a>(entries: impl Iterator<Item = &'a Entry>) -> (u64, u64, u64, u6
 fn render_json(entries: &[Entry], mode: &str, scale: f64, seeds: &[u64]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"uavdc-planner-baseline/2\",");
+    let _ = writeln!(out, "  \"schema\": \"uavdc-planner-baseline/3\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(
@@ -290,8 +306,13 @@ fn render_json(entries: &[Entry], mode: &str, scale: f64, seeds: &[u64]) -> Stri
     let _ = writeln!(out, "    \"exhaustive_loop_ns\": {en},");
     let _ = writeln!(
         out,
-        "    \"wall_speedup\": {}",
+        "    \"wall_speedup\": {},",
         json_f64(en as f64 / ln.max(1) as f64)
+    );
+    let _ = writeln!(
+        out,
+        "    \"alg2_wall_speedup\": {}",
+        json_f64(fig4_delta5_speedup(entries, "Algorithm 2"))
     );
     out.push_str("  },\n");
 
@@ -400,6 +421,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
     let mut out_path = "BENCH_planner.json".to_string();
+    let mut min_alg2_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -412,10 +434,21 @@ fn main() {
                 i += 1;
                 out_path = args[i].clone();
             }
+            "--min-alg2-speedup" if i + 1 < args.len() => {
+                i += 1;
+                match args[i].parse() {
+                    Ok(v) => min_alg2_speedup = Some(v),
+                    Err(_) => {
+                        eprintln!("--min-alg2-speedup expects a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
             bad => {
                 eprintln!("unknown argument: {bad}");
                 eprintln!(
-                    "usage: planner_baseline [--quick] [--check] [--obs-overhead] [--out PATH]"
+                    "usage: planner_baseline [--quick] [--check] [--obs-overhead] \
+                     [--min-alg2-speedup X] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -491,5 +524,14 @@ fn main() {
             "check passed: all {} lazy runs bit-identical and within the exhaustive bound",
             entries.len()
         );
+    }
+
+    if let Some(floor) = min_alg2_speedup {
+        let speedup = fig4_delta5_speedup(&entries, "Algorithm 2");
+        eprintln!("Algorithm 2 fig4 delta=5m wall speedup: {speedup:.2}x (floor {floor:.2}x)");
+        if speedup < floor {
+            eprintln!("FAIL: Algorithm 2 wall speedup below the floor");
+            std::process::exit(1);
+        }
     }
 }

@@ -138,6 +138,12 @@ pub struct RequestOutcome {
     pub iterations: u64,
     /// Candidate evaluations performed.
     pub evaluations: u64,
+    /// Incremental tour patches applied (Algorithm 2's fast-insertion
+    /// maintenance; 0 for planners that never patch a tour).
+    pub tour_patches: u64,
+    /// Full Christofides rebuilds (Algorithm 2's paper mode; 0
+    /// elsewhere).
+    pub full_retours: u64,
     /// Planner-measured latency: `setup_ns + loop_ns` (timing — the one
     /// nondeterministic field).
     pub latency_ns: u64,
@@ -238,6 +244,8 @@ fn run_one(
         candidates: stats.counters.candidates,
         iterations: stats.counters.iterations,
         evaluations: stats.counters.evaluations,
+        tour_patches: stats.counters.tour_patches,
+        full_retours: stats.counters.full_retours,
         latency_ns: stats.setup_ns + stats.loop_ns,
     }
 }

@@ -1,0 +1,128 @@
+//! Oversubscription sweep of the batch planning service
+//! (`uavdc_bench::service::run_batch`): when the worker pool is larger
+//! than the request count — the regime where work stealing, empty chunks
+//! and idle workers are guaranteed — every deterministic field of every
+//! outcome must stay bit-identical to the single-threaded reference,
+//! warm or cold, including the incremental-tour counters
+//! (`tour_patches`, `full_retours`) and the cache accounting.
+
+use proptest::prelude::*;
+use uavdc_bench::service::{run_batch, BatchReport, PlanRequest, ServiceAlgorithm, ServiceConfig};
+use uavdc_core::EngineMode;
+use uavdc_net::units::Joules;
+
+/// Everything except timings, per request.
+fn deterministic(r: &BatchReport) -> Vec<(u64, usize, u64, u64, u64, u64)> {
+    r.outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.plan_hash,
+                o.candidates,
+                o.iterations,
+                o.evaluations,
+                o.tour_patches,
+                o.full_retours,
+            )
+        })
+        .collect()
+}
+
+/// Small request pools so batches collide on instances and artifacts.
+fn decode(seed_ix: u8, cap_ix: u8, alg_ix: u8, engine_ix: u8) -> PlanRequest {
+    let seeds = [5u64, 9];
+    let caps = [2.5e5, 4.0e5, 5.5e5];
+    let algorithms = [
+        ServiceAlgorithm::Alg2 { delta: 20.0 },
+        ServiceAlgorithm::Alg3 { delta: 20.0, k: 2 },
+        ServiceAlgorithm::Benchmark,
+    ];
+    let engines = [EngineMode::Lazy, EngineMode::Exhaustive];
+    PlanRequest {
+        seed: seeds[seed_ix as usize % seeds.len()],
+        capacity: Joules(caps[cap_ix as usize % caps.len()]),
+        algorithm: algorithms[alg_ix as usize % algorithms.len()],
+        engine: engines[engine_ix as usize % engines.len()],
+    }
+}
+
+fn cfg(threads: usize, reuse: bool) -> ServiceConfig {
+    ServiceConfig {
+        scale: 0.05,
+        threads,
+        reuse_artifacts: reuse,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Warm batches: threads strictly greater than the request count
+    /// must not change a single deterministic bit, nor the cache
+    /// hit/miss split.
+    #[test]
+    fn oversubscribed_warm_batch_is_bit_identical(
+        tuples in proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..6),
+        extra in 1usize..8,
+    ) {
+        let requests: Vec<PlanRequest> =
+            tuples.iter().map(|&(s, c, a, e)| decode(s, c, a, e)).collect();
+        let over_threads = requests.len() + extra;
+        let reference = run_batch(&cfg(1, true), &requests);
+        let over = run_batch(&cfg(over_threads, true), &requests);
+        prop_assert_eq!(over.threads, over_threads, "thread override ignored");
+        prop_assert_eq!(deterministic(&over), deterministic(&reference));
+        prop_assert_eq!(over.cache_hits, reference.cache_hits);
+        prop_assert_eq!(over.cache_misses, reference.cache_misses);
+        prop_assert_eq!(over.unique_instances, reference.unique_instances);
+    }
+
+    /// Cold batches (no artifact sharing): oversubscription must still
+    /// be invisible, and cold mode never touches the cache regardless of
+    /// how many idle workers are around.
+    #[test]
+    fn oversubscribed_cold_batch_is_bit_identical(
+        tuples in proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..5),
+        extra in 1usize..6,
+    ) {
+        let requests: Vec<PlanRequest> =
+            tuples.iter().map(|&(s, c, a, e)| decode(s, c, a, e)).collect();
+        let reference = run_batch(&cfg(1, false), &requests);
+        let over = run_batch(&cfg(requests.len() + extra, false), &requests);
+        prop_assert_eq!(deterministic(&over), deterministic(&reference));
+        prop_assert_eq!(over.cache_hits, 0);
+        prop_assert_eq!(over.cache_misses, 0);
+    }
+}
+
+/// A single request on a wide pool: the degenerate 1-request case where
+/// every worker but one is idle in every phase.
+#[test]
+fn single_request_on_wide_pool() {
+    let request = PlanRequest {
+        seed: 5,
+        capacity: Joules(4.0e5),
+        algorithm: ServiceAlgorithm::Alg2 { delta: 20.0 },
+        engine: EngineMode::Lazy,
+    };
+    let reference = run_batch(&cfg(1, true), std::slice::from_ref(&request));
+    let wide = run_batch(&cfg(16, true), std::slice::from_ref(&request));
+    assert_eq!(wide.threads, 16);
+    assert_eq!(deterministic(&wide), deterministic(&reference));
+    // Alg2 fast-insertion splices every emitted stop: the counter must
+    // travel through the service layer intact.
+    assert!(
+        wide.outcomes[0].tour_patches > 0,
+        "tour_patches lost in the service path"
+    );
+    assert_eq!(wide.outcomes[0].full_retours, 0);
+}
+
+/// An empty batch must survive any pool width.
+#[test]
+fn empty_batch_is_fine_at_any_width() {
+    let report = run_batch(&cfg(12, true), &[]);
+    assert!(report.outcomes.is_empty());
+    assert_eq!(report.cache_hits, 0);
+    assert_eq!(report.cache_misses, 0);
+}

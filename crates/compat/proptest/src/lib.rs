@@ -4,9 +4,9 @@
 //! replaces crates.io `proptest` with this path dependency. It keeps
 //! the call sites unchanged: the `proptest!` macro, range strategies
 //! (`0.0f64..100.0`, `5usize..40`, `0u64..1000`), tuple strategies,
-//! `proptest::collection::vec`, `.prop_map`, `prop_assert!`,
-//! `prop_assert_eq!`, `prop_assume!`, and
-//! `ProptestConfig::with_cases(n)`.
+//! `proptest::collection::vec`, `.prop_map`, `Just`, weighted
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//! and `ProptestConfig::with_cases(n)`.
 //!
 //! Differences from real proptest, by design:
 //! - No shrinking: a failing case panics with the sampled inputs via
@@ -184,6 +184,45 @@ pub mod strategy {
             self.0.clone()
         }
     }
+
+    /// One weighted, type-erased sampling arm of a [`Union`].
+    pub type WeightedArm<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+    /// Strategy built by [`prop_oneof!`]: picks one of several weighted
+    /// arms per sample. Arms are type-erased sampling closures so
+    /// heterogeneous strategy types can share one value type.
+    pub struct Union<T> {
+        arms: Vec<WeightedArm<T>>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<WeightedArm<T>>) -> Self {
+            let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            // The pick always lands inside an arm (weights sum to the
+            // sampled modulus); the last arm doubles as the fallback so
+            // the loop needs no unreachable tail.
+            let mut chosen = self.arms.len() - 1;
+            for (i, (w, _)) in self.arms.iter().enumerate() {
+                let w = u64::from(*w);
+                if pick < w {
+                    chosen = i;
+                    break;
+                }
+                pick -= w;
+            }
+            (self.arms[chosen].1)(rng)
+        }
+    }
 }
 
 pub mod collection {
@@ -215,7 +254,9 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Shim of `proptest!`: expands each `#[test] fn name(args in strategies)`
@@ -251,6 +292,31 @@ macro_rules! __proptest_impl {
             }
         }
         $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Shim of `prop_oneof!`: a strategy that samples one of several arms,
+/// optionally weighted (`weight => strategy`). All arms must produce the
+/// same value type; unweighted arms get weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $({
+                let __s = $strat;
+                (
+                    $weight,
+                    ::std::boxed::Box::new(
+                        move |__rng: &mut $crate::test_runner::TestRng| {
+                            $crate::strategy::Strategy::sample(&__s, __rng)
+                        },
+                    ) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+                )
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1u32 => $strat),+)
     };
 }
 
@@ -301,6 +367,16 @@ mod tests {
             prop_assert!((0.0..10.0).contains(&x));
             prop_assert!((3..9).contains(&n));
             prop_assert!(s < 100);
+        }
+
+        #[test]
+        fn oneof_respects_arm_set(
+            v in prop_oneof![
+                3 => (0u32..10).prop_map(|x| x as i64),
+                1 => Just(-1i64),
+            ],
+        ) {
+            prop_assert!(v == -1i64 || (0i64..10).contains(&v));
         }
 
         #[test]

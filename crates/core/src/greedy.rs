@@ -47,12 +47,11 @@
 //! serial fold's comparator, so the winning candidate — and therefore the
 //! committed plan — matches the exhaustive scan bit for bit.
 
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
 use crate::candidates::CandidateSet;
-use uavdc_geom::{Point2, TotalF64};
+use uavdc_geom::Point2;
 
 /// Ratio-comparison band shared with the exhaustive scans: `a` beats `b`
 /// only when `a.ratio > b.ratio + RATIO_BAND`, and exact ties go to the
@@ -240,25 +239,44 @@ where
 /// reward terms can have changed.
 #[derive(Clone, Debug)]
 pub struct DeviceIndex {
-    by_device: Vec<Vec<u32>>,
+    /// CSR layout: device `v`'s candidates sit at
+    /// `data[offsets[v]..offsets[v + 1]]` — one flat allocation instead
+    /// of a `Vec` per device.
+    offsets: Vec<u32>,
+    data: Vec<u32>,
 }
 
 impl DeviceIndex {
     /// Builds the index. `num_devices` bounds the device-id space.
     pub fn build(candidates: &CandidateSet, num_devices: usize) -> Self {
-        let mut by_device: Vec<Vec<u32>> = vec![Vec::new(); num_devices];
-        for (i, c) in candidates.candidates.iter().enumerate() {
+        let mut offsets = vec![0u32; num_devices + 1];
+        for c in &candidates.candidates {
             for &v in &c.covered {
-                by_device[v as usize].push(i as u32);
+                offsets[v as usize + 1] += 1;
             }
         }
-        DeviceIndex { by_device }
+        for v in 0..num_devices {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut data = vec![0u32; offsets[num_devices] as usize];
+        // Candidates are visited in ascending order, so each device's
+        // slice comes out ascending — same order the per-device Vec
+        // layout produced.
+        for (i, c) in candidates.candidates.iter().enumerate() {
+            for &v in &c.covered {
+                let slot = cursor[v as usize];
+                data[slot as usize] = i as u32;
+                cursor[v as usize] = slot + 1;
+            }
+        }
+        DeviceIndex { offsets, data }
     }
 
     /// Candidates covering device `v`, in ascending candidate order.
     #[inline]
     pub fn candidates_of(&self, v: u32) -> &[u32] {
-        &self.by_device[v as usize]
+        &self.data[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
 
     /// Collects the deduplicated dirty candidate set for a batch of
@@ -401,20 +419,112 @@ impl InsertionCache {
         }
         out
     }
+
+    /// Column-based twin of [`InsertionCache::apply_insertion`]: identical
+    /// decision sequence (same comparisons on the same values in the same
+    /// order), with the five distances supplied by the caller instead of
+    /// recomputed per candidate. Algorithm 2's lazy engine batch-computes
+    /// the three candidate→tour-point columns once per commit
+    /// (`uavdc_graph::incremental::distances_to_point`) and repairs every
+    /// active candidate from them; `tests/lazy_equivalence.rs` and the
+    /// in-module repair property keep the two variants locked together.
+    pub fn apply_insertion_cols(&mut self, c: usize, d: RepairDists, ins_pos: usize) -> Fixup {
+        if !self.valid[c] {
+            return Fixup::Invalidated;
+        }
+        if self.pos[c] == ins_pos {
+            self.valid[c] = false;
+            return Fixup::Invalidated;
+        }
+        if self.pos[c] > ins_pos {
+            self.pos[c] += 1;
+        }
+        let mut out = Fixup::Unchanged;
+        let delta_a = d.d_a + d.d_p - d.e_ap;
+        if delta_a < self.delta[c] {
+            self.delta[c] = delta_a;
+            self.pos[c] = ins_pos;
+            out = Fixup::Improved;
+        }
+        let delta_b = d.d_p + d.d_b - d.e_pb;
+        if delta_b < self.delta[c] {
+            self.delta[c] = delta_b;
+            self.pos[c] = ins_pos + 1;
+            out = Fixup::Improved;
+        }
+        out
+    }
+}
+
+/// Distance bundle feeding [`InsertionCache::apply_insertion_cols`]: the
+/// candidate's distances to the three tour points around an insertion at
+/// `ins_pos` (predecessor `a`, inserted point `p`, successor `b`), plus
+/// the two new tour edges. Every field must be bit-identical to the
+/// `Point2::distance` value [`InsertionCache::apply_insertion`] would
+/// recompute.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairDists {
+    /// `a.distance(candidate)`.
+    pub d_a: f64,
+    /// `p.distance(candidate)`.
+    pub d_p: f64,
+    /// `b.distance(candidate)`.
+    pub d_b: f64,
+    /// `a.distance(p)` — the first new tour edge.
+    pub e_ap: f64,
+    /// `p.distance(b)` — the second new tour edge.
+    pub e_pb: f64,
 }
 
 // ---------------------------------------------------------------------------
 // CELF-style lazy max-heap
 // ---------------------------------------------------------------------------
 
-/// Max by ratio, then min by candidate index (ties at bit-equal ratio
-/// resolve to the lower index, like the serial fold); `gen` last so the
-/// derived ordering is total.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct HeapEntry {
-    ratio: TotalF64,
-    cand: Reverse<u32>,
-    gen: u32,
+/// Order-preserving bijection from `f64` under [`f64::total_cmp`] to
+/// `u64` under integer `<`: the sign-dependent XOR from `total_cmp`'s own
+/// definition, shifted from `i64` into `u64` range. Exact for every bit
+/// pattern (including NaNs, infinities and signed zeros), so a `u64`
+/// comparison of mapped values is bit-for-bit the `TotalF64` ordering.
+#[inline]
+fn mono_f64(v: f64) -> u64 {
+    let b = v.to_bits() as i64;
+    let m = b ^ (((b >> 63) as u64) >> 1) as i64;
+    (m as u64) ^ (1u64 << 63)
+}
+
+/// Inverse of [`mono_f64`] (the XOR mask is sign-preserved, so the map is
+/// an involution on the shifted integers). Bit-exact round trip.
+#[inline]
+fn unmono_f64(u: u64) -> f64 {
+    let m = (u ^ (1u64 << 63)) as i64;
+    let b = m ^ (((m >> 63) as u64) >> 1) as i64;
+    f64::from_bits(b as u64)
+}
+
+/// Heap entry packed into one `u128` key: max by ratio (via
+/// [`mono_f64`]), then min by candidate index (`!cand`: ties at bit-equal
+/// ratio resolve to the lower index, like the serial fold), `gen` last so
+/// the ordering is total. Packing keeps the entry at 16 bytes while
+/// turning the three-field lexicographic comparison into a single integer
+/// compare — the heap's sift loops dominate lazy-selection wall time.
+#[inline]
+fn pack_entry(ratio: f64, cand: u32, gen: u32) -> u128 {
+    ((mono_f64(ratio) as u128) << 64) | (((!cand) as u128) << 32) | gen as u128
+}
+
+#[inline]
+fn entry_ratio(key: u128) -> f64 {
+    unmono_f64((key >> 64) as u64)
+}
+
+#[inline]
+fn entry_cand(key: u128) -> u32 {
+    !((key >> 32) as u32)
+}
+
+#[inline]
+fn entry_gen(key: u128) -> u32 {
+    key as u32
 }
 
 /// What [`LazyHeap::select`] learned about a popped candidate.
@@ -439,9 +549,10 @@ pub enum Probe {
 /// value (exact for Algorithm 2; an upper bound that [`Probe::Feasible`]
 /// decays for Algorithm 3's battery-filtered virtual stops).
 pub struct LazyHeap {
-    heap: BinaryHeap<HeapEntry>,
+    heap: BinaryHeap<u128>,
     gen: Vec<u32>,
-    parked: Vec<HeapEntry>,
+    parked: Vec<u128>,
+    purge_at: usize,
 }
 
 impl LazyHeap {
@@ -451,18 +562,53 @@ impl LazyHeap {
             heap: BinaryHeap::with_capacity(m),
             gen: vec![0; m],
             parked: Vec::new(),
+            purge_at: usize::MAX,
         }
+    }
+
+    /// Enables bulk sweeps of superseded entries at the start of
+    /// [`select`](LazyHeap::select) whenever the heap holds more than
+    /// `4·m` entries. A sweep only reschedules *when* a superseded entry
+    /// leaves the heap, never *whether*: every pushed entry is discarded
+    /// exactly once either way — at the heap top or during a sweep — and
+    /// both count toward the pop counter, so the counter total is
+    /// invariant. That bookkeeping identity needs the planner loop to
+    /// end by running selection to heap exhaustion (as Algorithm 2's
+    /// does — its only exit is an empty selection, which pops every
+    /// remaining entry). Loops with early exits (`alg3`'s iteration cap
+    /// and zero-gain break) must leave purging off, or entries the
+    /// baseline left uncounted in the resident heap would get counted.
+    pub fn enable_purge(&mut self) {
+        self.purge_at = (4 * self.gen.len()).max(64);
+    }
+
+    /// Sweeps superseded entries out in bulk, counting each into `pops`
+    /// (see [`enable_purge`](LazyHeap::enable_purge)). Live entries are
+    /// untouched, so selection observes the same candidates in the same
+    /// order; the point is that a discard during the sweep is O(1) while
+    /// the same discard at the heap top is O(log n) on a heap bloated by
+    /// the very entries being discarded.
+    fn purge(&mut self, pops: &mut u64) {
+        if self.heap.len() < self.purge_at {
+            return;
+        }
+        let old = std::mem::take(&mut self.heap).into_vec();
+        let mut live = Vec::with_capacity(self.gen.len());
+        for e in old {
+            if entry_gen(e) == self.gen[entry_cand(e) as usize] {
+                live.push(e);
+            } else {
+                *pops += 1;
+            }
+        }
+        self.heap = BinaryHeap::from(live);
     }
 
     /// Publishes candidate `c`'s current cached ratio, superseding any
     /// previous entry for `c`.
     pub fn push(&mut self, c: usize, ratio: f64) {
         self.gen[c] = self.gen[c].wrapping_add(1);
-        self.heap.push(HeapEntry {
-            ratio: TotalF64(ratio),
-            cand: Reverse(c as u32),
-            gen: self.gen[c],
-        });
+        self.heap.push(pack_entry(ratio, c as u32, self.gen[c]));
     }
 
     /// Returns parked candidates to contention (call when battery slack
@@ -493,37 +639,35 @@ impl LazyHeap {
         mut probe: impl FnMut(usize) -> Probe,
         pops: &mut u64,
     ) -> Option<(usize, f64)> {
+        self.purge(pops);
         // Cohort of feasible candidates within the tie band of each
         // other; kept sorted implicitly by collecting then folding.
         let mut cohort: Vec<(f64, u32, u32)> = Vec::new();
         let mut cohort_min = f64::INFINITY;
         while let Some(&top) = self.heap.peek() {
-            if !cohort.is_empty() && top.ratio.0 < cohort_min - RATIO_BAND {
+            if !cohort.is_empty() && entry_ratio(top) < cohort_min - RATIO_BAND {
                 break;
             }
             // lint:allow(panic-site): peek above proves the heap is non-empty
             let entry = self.heap.pop().expect("heap entry vanished after peek");
             *pops += 1;
-            let c = entry.cand.0 as usize;
-            if entry.gen != self.gen[c] || !active(c) {
+            let c = entry_cand(entry) as usize;
+            if entry_gen(entry) != self.gen[c] || !active(c) {
                 continue; // superseded or deactivated entry
             }
             match probe(c) {
                 Probe::Infeasible => self.parked.push(entry),
                 Probe::Feasible(v) => {
-                    if v >= entry.ratio.0 {
+                    if v >= entry_ratio(entry) {
                         // Exact entry: joins the cohort directly.
                         cohort_min = cohort_min.min(v);
-                        cohort.push((v, entry.cand.0, entry.gen));
+                        cohort.push((v, entry_cand(entry), entry_gen(entry)));
                     } else {
                         // CELF decay: the feasible value is below the
                         // cached bound; re-queue at its true value so it
                         // competes in the right order.
-                        self.heap.push(HeapEntry {
-                            ratio: TotalF64(v),
-                            cand: entry.cand,
-                            gen: entry.gen,
-                        });
+                        self.heap
+                            .push(pack_entry(v, entry_cand(entry), entry_gen(entry)));
                     }
                 }
             }
@@ -546,11 +690,7 @@ impl LazyHeap {
         // Losers stay current: return them to the heap unchanged.
         for &(r, c, g) in &cohort {
             if c != winner.1 {
-                self.heap.push(HeapEntry {
-                    ratio: TotalF64(r),
-                    cand: Reverse(c),
-                    gen: g,
-                });
+                self.heap.push(pack_entry(r, c, g));
             }
         }
         Some((winner.1 as usize, winner.0))
@@ -580,8 +720,17 @@ pub struct EvalCounters {
     pub delta_rescans: u64,
     /// O(1) insertion-cache repairs performed.
     pub fixups: u64,
-    /// Heap entries popped during selection.
+    /// Heap entries retired during selection: top-of-heap pops plus
+    /// stale entries removed by the purge sweep. Every pushed entry is
+    /// retired exactly once, so the count is purge-invariant.
     pub heap_pops: u64,
+    /// Incremental tour patches applied (insertion splices plus local
+    /// compactions that changed the tour). Deterministic: equal across
+    /// engines because both drive the same state evolution.
+    pub tour_patches: u64,
+    /// Full Christofides tour rebuilds (PaperChristofides evaluations and
+    /// uncached commits; always 0 under FastInsertion).
+    pub full_retours: u64,
 }
 
 impl EvalCounters {
@@ -661,6 +810,59 @@ mod tests {
     }
 
     #[test]
+    fn packed_heap_key_matches_three_field_ordering() {
+        // The packed u128 key must reproduce the lexicographic
+        // (total_cmp ratio, Reverse(cand), gen) ordering bit for bit —
+        // the heap's pop sequence, and with it the frozen `heap_pops`
+        // baseline counter, depends on it. Exercise the f64 edge cases
+        // total_cmp distinguishes plus a pseudo-random sweep.
+        let specials = [
+            f64::NEG_INFINITY,
+            -1.5e300,
+            -1.0,
+            -f64::MIN_POSITIVE / 2.0, // negative subnormal
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 2.0,
+            1.0,
+            1.0 + f64::EPSILON,
+            1.5e300,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        let mut vals: Vec<f64> = specials.to_vec();
+        let mut s = 0x2545f4914f6cdd1du64;
+        for _ in 0..512 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            vals.push(f64::from_bits(s));
+        }
+        for &a in &vals {
+            assert_eq!(
+                unmono_f64(mono_f64(a)).to_bits(),
+                a.to_bits(),
+                "mono/unmono round trip broke {a:?}"
+            );
+            for &b in &vals {
+                assert_eq!(
+                    mono_f64(a).cmp(&mono_f64(b)),
+                    a.total_cmp(&b),
+                    "mono order diverged from total_cmp on {a:?} vs {b:?}"
+                );
+            }
+        }
+        // Tie-breaks: equal ratio prefers the lower candidate; equal
+        // (ratio, cand) prefers the higher generation.
+        assert!(pack_entry(1.0, 3, 7) > pack_entry(1.0, 4, 7));
+        assert!(pack_entry(1.0, 3, 8) > pack_entry(1.0, 3, 7));
+        assert!(pack_entry(2.0, 9, 1) > pack_entry(1.0, 0, 9));
+        assert_eq!(entry_cand(pack_entry(1.0, 3, 7)), 3);
+        assert_eq!(entry_gen(pack_entry(1.0, 3, 7)), 7);
+    }
+
+    #[test]
     fn insertion_cache_repair_matches_full_rescan() {
         // Deterministic pseudo-random points; after every insertion the
         // repaired cache must match a fresh cheapest_insertion_point.
@@ -676,14 +878,33 @@ mod tests {
             let (d, pos) = cheapest_insertion_point(&tour, p);
             cache.set(c, d, pos);
         }
+        let mut cols = InsertionCache::new(cands.len());
+        for (c, &p) in cands.iter().enumerate() {
+            let (d, pos) = cheapest_insertion_point(&tour, p);
+            cols.set(c, d, pos);
+        }
         for &p in &inserts {
             let (_, ins_pos) = cheapest_insertion_point(&tour, p);
             tour.insert(ins_pos, p);
+            let a = tour[ins_pos - 1];
+            let b = tour[(ins_pos + 1) % tour.len()];
             for (c, &cp) in cands.iter().enumerate() {
-                if cache.apply_insertion(c, cp, &tour, ins_pos) == Fixup::Invalidated {
+                let d = RepairDists {
+                    d_a: a.distance(cp),
+                    d_p: p.distance(cp),
+                    d_b: b.distance(cp),
+                    e_ap: a.distance(p),
+                    e_pb: p.distance(b),
+                };
+                let row_fix = cache.apply_insertion(c, cp, &tour, ins_pos);
+                // The column twin must take the exact same decisions.
+                assert_eq!(cols.apply_insertion_cols(c, d, ins_pos), row_fix);
+                if row_fix == Fixup::Invalidated {
                     let (d, pos) = cheapest_insertion_point(&tour, cp);
                     cache.set(c, d, pos);
+                    cols.set(c, d, pos);
                 }
+                assert_eq!(cache.get(c), cols.get(c), "column repair diverged at {c}");
                 let (want, _) = cheapest_insertion_point(&tour, cp);
                 let (got, got_pos) = cache.get(c).unwrap();
                 assert_eq!(

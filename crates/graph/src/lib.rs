@@ -44,6 +44,7 @@ pub mod construction;
 pub mod euler;
 pub mod exact;
 pub mod improve;
+pub mod incremental;
 pub mod matching;
 mod matrix;
 pub mod mst;

@@ -505,10 +505,11 @@ const ENTRY_CRATES: [&str; 3] = [
 /// Bounds-audited modules for `panic-reach`: indexing in these files is
 /// accepted as in-range by construction, backed by the invariant and
 /// property suites that already patrol them (energy feasibility, metric
-/// closure, matching validity — see DESIGN.md §13). This is a *ratchet*:
+/// closure, matching validity, incremental-tour edge-cache exactness —
+/// see DESIGN.md §13 and §16). This is a *ratchet*:
 /// new files start outside the list, so fresh indexing-heavy code must
 /// either be audited in or carry per-site pragmas.
-const INDEX_AUDITED: [&str; 51] = [
+const INDEX_AUDITED: [&str; 52] = [
     "crates/bench/src/json.rs",
     "crates/bench/src/lib.rs",
     "crates/core/src/alg1.rs",
@@ -536,6 +537,7 @@ const INDEX_AUDITED: [&str; 51] = [
     "crates/graph/src/euler.rs",
     "crates/graph/src/exact.rs",
     "crates/graph/src/improve.rs",
+    "crates/graph/src/incremental.rs",
     "crates/graph/src/matching.rs",
     "crates/graph/src/matching/blossom.rs",
     "crates/graph/src/matrix.rs",
